@@ -1,0 +1,267 @@
+package cla
+
+import (
+	"fmt"
+
+	"cla/internal/core"
+	"cla/internal/depend"
+	"cla/internal/objfile"
+	"cla/internal/prim"
+	"cla/internal/pts"
+	"cla/internal/pts/bitvec"
+	"cla/internal/pts/onelevel"
+	"cla/internal/pts/steens"
+	"cla/internal/pts/worklist"
+)
+
+// Algorithm selects a points-to solver.
+type Algorithm int
+
+// Solver algorithms.
+const (
+	// PreTransitive is the paper's pre-transitive graph algorithm with
+	// cached reachability and cycle elimination (the default).
+	PreTransitive Algorithm = iota
+	// WorklistAndersen is the classic transitively-closed baseline.
+	WorklistAndersen
+	// SteensgaardUnify is the unification-based baseline.
+	SteensgaardUnify
+	// BitVectorAndersen is Andersen's analysis over dense bit-vector
+	// sets, another subset-based implementation built on the same
+	// database (Section 4 of the paper).
+	BitVectorAndersen
+	// OneLevelFlow is Das's hybrid (PLDI 2000, the paper's reference
+	// [8]): directional subset edges at the top level of the points-to
+	// graph, unification below it.
+	OneLevelFlow
+)
+
+// AnalyzeOptions configures an analysis run.
+type AnalyzeOptions struct {
+	Algorithm Algorithm
+	// NoCache disables reachability caching (ablation).
+	NoCache bool
+	// NoCycleElim disables cycle elimination (ablation).
+	NoCycleElim bool
+	// NoDemandLoad loads the whole database upfront (ablation).
+	NoDemandLoad bool
+}
+
+func (o *AnalyzeOptions) coreConfig() core.Config {
+	cfg := core.DefaultConfig()
+	if o != nil {
+		cfg.Cache = !o.NoCache
+		cfg.CycleElim = !o.NoCycleElim
+		cfg.DemandLoad = !o.NoDemandLoad
+	}
+	return cfg
+}
+
+// Analysis holds a solved points-to relation over a database.
+type Analysis struct {
+	db  *Database
+	src pts.Source
+	res pts.Result
+	r   *objfile.Reader // non-nil for AnalyzeFile
+}
+
+// Analyze runs points-to analysis over the database.
+func (db *Database) Analyze(opts *AnalyzeOptions) (*Analysis, error) {
+	src := pts.NewMemSource(db.prog)
+	res, err := solve(src, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Analysis{db: db, src: src, res: res}, nil
+}
+
+// AnalyzeFile opens a serialized database and analyzes it with demand
+// loading directly from the file — the full CLA analyze phase. Call Close
+// when done.
+func AnalyzeFile(path string, opts *AnalyzeOptions) (*Analysis, error) {
+	r, err := objfile.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	src := &pts.FileSource{R: r}
+	res, err := solve(src, opts)
+	if err != nil {
+		r.Close()
+		return nil, err
+	}
+	// Materialize symbols for Object accessors.
+	prog := &prim.Program{Syms: append([]prim.Symbol(nil), r.Syms()...)}
+	db := &Database{prog: prog}
+	return &Analysis{db: db, src: src, res: res, r: r}, nil
+}
+
+// Close releases the underlying file for AnalyzeFile analyses.
+func (a *Analysis) Close() error {
+	if a.r != nil {
+		return a.r.Close()
+	}
+	return nil
+}
+
+func solve(src pts.Source, opts *AnalyzeOptions) (pts.Result, error) {
+	alg := PreTransitive
+	if opts != nil {
+		alg = opts.Algorithm
+	}
+	switch alg {
+	case PreTransitive:
+		return core.Solve(src, opts.coreConfig())
+	case WorklistAndersen:
+		return worklist.Solve(src)
+	case SteensgaardUnify:
+		return steens.Solve(src)
+	case BitVectorAndersen:
+		return bitvec.Solve(src)
+	case OneLevelFlow:
+		return onelevel.Solve(src)
+	}
+	return nil, fmt.Errorf("cla: unknown algorithm %d", alg)
+}
+
+// Database returns the analyzed database.
+func (a *Analysis) Database() *Database { return a.db }
+
+// PointsTo returns the objects obj may point to.
+func (a *Analysis) PointsTo(obj Object) []Object {
+	if !obj.Valid() {
+		return nil
+	}
+	var out []Object
+	for _, z := range a.res.PointsTo(obj.id) {
+		out = append(out, Object{db: a.db, id: z})
+	}
+	return out
+}
+
+// PointsToName returns the union of points-to sets over all objects with
+// the given name.
+func (a *Analysis) PointsToName(name string) []Object {
+	seen := map[prim.SymID]bool{}
+	var out []Object
+	for _, o := range a.db.Lookup(name) {
+		for _, z := range a.res.PointsTo(o.id) {
+			if !seen[z] {
+				seen[z] = true
+				out = append(out, Object{db: a.db, id: z})
+			}
+		}
+	}
+	return out
+}
+
+// MayAlias reports whether two pointer objects may point to a common
+// location.
+func (a *Analysis) MayAlias(x, y Object) bool {
+	if !x.Valid() || !y.Valid() {
+		return false
+	}
+	xs := a.res.PointsTo(x.id)
+	ys := a.res.PointsTo(y.id)
+	i, j := 0, 0
+	for i < len(xs) && j < len(ys) {
+		switch {
+		case xs[i] < ys[j]:
+			i++
+		case xs[i] > ys[j]:
+			j++
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// Metrics reports solver statistics (the measurement columns of the
+// paper's Table 3).
+type Metrics struct {
+	PointerVars  int
+	Relations    int
+	InCore       int
+	Loaded       int
+	InFile       int
+	Passes       int
+	Unifications int
+}
+
+// Metrics returns the analysis statistics.
+func (a *Analysis) Metrics() Metrics {
+	m := a.res.Metrics()
+	return Metrics{
+		PointerVars:  m.PointerVars,
+		Relations:    m.Relations,
+		InCore:       m.InCore,
+		Loaded:       m.Loaded,
+		InFile:       m.InFile,
+		Passes:       m.Passes,
+		Unifications: m.Unifications,
+	}
+}
+
+// DependOptions configures a dependence query.
+type DependOptions struct {
+	// NonTargets are objects asserted not to depend on the target;
+	// traversal neither reports nor crosses them.
+	NonTargets []Object
+	// DropWeak excludes chains that pass through weak operations.
+	DropWeak bool
+}
+
+// Dependent is one object dependent on the target, with its chain class.
+type Dependent struct {
+	Object Object
+	// Strong reports whether the best chain uses only shape-preserving
+	// operations (Table 1).
+	Strong bool
+	// Distance is the best chain's length.
+	Distance int
+	// Chain is the printable dependence chain (Figure 1 format).
+	Chain string
+}
+
+// Dependence runs the forward data-dependence analysis of the paper's
+// Section 2 from the given target objects.
+func (a *Analysis) Dependence(targets []Object, opts *DependOptions) ([]Dependent, error) {
+	var ids []prim.SymID
+	for _, t := range targets {
+		if !t.Valid() {
+			return nil, fmt.Errorf("cla: invalid target object")
+		}
+		ids = append(ids, t.id)
+	}
+	dopts := depend.Options{NonTargets: map[prim.SymID]bool{}}
+	if opts != nil {
+		dopts.DropWeak = opts.DropWeak
+		for _, nt := range opts.NonTargets {
+			dopts.NonTargets[nt.id] = true
+		}
+	}
+	res, err := depend.Analyze(a.src, a.res, ids, dopts)
+	if err != nil {
+		return nil, err
+	}
+	var out []Dependent
+	for _, d := range res.Dependents() {
+		out = append(out, Dependent{
+			Object:   Object{db: a.db, id: d.Sym},
+			Strong:   d.Strength == prim.Strong,
+			Distance: d.Dist,
+			Chain:    res.FormatChain(d.Sym),
+		})
+	}
+	return out, nil
+}
+
+// DependenceByName is a convenience wrapper targeting every object named
+// name.
+func (a *Analysis) DependenceByName(name string, opts *DependOptions) ([]Dependent, error) {
+	targets := a.db.Lookup(name)
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("cla: no object named %q", name)
+	}
+	return a.Dependence(targets, opts)
+}

@@ -1,0 +1,212 @@
+// Claan is the CLA analyze phase: it runs points-to and dependence queries
+// against a linked object database, demand-loading just the blocks the
+// query needs.
+//
+// Usage:
+//
+//	claan -pts p program.cla             # print what p may point to
+//	claan -pts-all program.cla           # print all non-empty points-to sets
+//	claan -target x [-nontarget h] program.cla   # forward dependence from x
+//	claan -stats program.cla             # analysis metrics (Table 3 columns)
+//	claan -solver pretrans|worklist|steens ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cla/internal/core"
+	"cla/internal/depend"
+	"cla/internal/driver"
+	"cla/internal/objfile"
+	"cla/internal/prim"
+	"cla/internal/pts"
+	"cla/internal/xform"
+)
+
+func main() {
+	var (
+		ptsName    = flag.String("pts", "", "print points-to set of the named object")
+		ptsAll     = flag.Bool("pts-all", false, "print all non-empty points-to sets")
+		target     = flag.String("target", "", "dependence target object name")
+		nonTargets = flag.String("nontarget", "", "comma-separated non-target names")
+		stats      = flag.Bool("stats", false, "print analysis metrics")
+		solverName = flag.String("solver", "pretrans", "solver: pretrans, worklist, steens or bitvec")
+		noCache    = flag.Bool("no-cache", false, "disable reachability caching")
+		noCycle    = flag.Bool("no-cycle-elim", false, "disable cycle elimination")
+		noDemand   = flag.Bool("no-demand-load", false, "load the whole database upfront")
+		maxDeps    = flag.Int("max", 50, "maximum dependents to print")
+		ovs        = flag.Bool("ovs", false, "apply offline variable substitution before solving")
+		contextSen = flag.Bool("context", false, "apply per-call-site context duplication before solving")
+		dotOut     = flag.String("dot", "", "write the points-to relation as Graphviz dot to this file")
+		tree       = flag.Bool("tree", false, "print dependence results as a tree (with -target)")
+		treeDepth  = flag.Int("tree-depth", 0, "maximum tree depth (0 = unlimited)")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "claan: exactly one database argument required")
+		os.Exit(2)
+	}
+	solver, err := driver.ParseSolver(*solverName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "claan: %v\n", err)
+		os.Exit(2)
+	}
+	cfg := core.Config{Cache: !*noCache, CycleElim: !*noCycle, DemandLoad: !*noDemand}
+
+	r, err := objfile.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "claan: %v\n", err)
+		os.Exit(1)
+	}
+	defer r.Close()
+	var src pts.Source = &pts.FileSource{R: r}
+
+	// Pre-analysis database-to-database transformations (Section 4).
+	subst := func(id prim.SymID) prim.SymID { return id }
+	if *ovs || *contextSen {
+		prog, err := r.Program()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "claan: %v\n", err)
+			os.Exit(1)
+		}
+		if *contextSen {
+			prog = xform.ContextSensitive(prog, xform.Options{})
+		}
+		if *ovs {
+			var mapping []prim.SymID
+			prog, mapping = xform.OfflineVarSub(prog)
+			subst = func(id prim.SymID) prim.SymID {
+				if int(id) < len(mapping) {
+					return mapping[id]
+				}
+				return id
+			}
+		}
+		src = pts.NewMemSource(prog)
+	}
+
+	res, err := driver.Analyze(src, solver, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "claan: %v\n", err)
+		os.Exit(1)
+	}
+	if *dotOut != "" {
+		if err := writeDot(*dotOut, r, res); err != nil {
+			fmt.Fprintf(os.Stderr, "claan: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	switch {
+	case *ptsName != "":
+		ids := r.TargetLookup(*ptsName)
+		if len(ids) == 0 {
+			fmt.Fprintf(os.Stderr, "claan: no object named %q\n", *ptsName)
+			os.Exit(1)
+		}
+		for _, id := range ids {
+			printPts(r, res, subst(id))
+		}
+	case *ptsAll:
+		for i := 0; i < r.NumSyms(); i++ {
+			id := prim.SymID(i)
+			if !pts.CountedAsPointerVar(r.Sym(id).Kind) {
+				continue
+			}
+			if len(res.PointsTo(subst(id))) > 0 {
+				printPts(r, res, subst(id))
+			}
+		}
+	case *target != "":
+		runDependence(r, src, res, *target, *nonTargets, *maxDeps, *tree, *treeDepth)
+	case *stats:
+		m := res.Metrics()
+		fmt.Printf("solver:        %s\n", solver)
+		fmt.Printf("pointer vars:  %d\n", m.PointerVars)
+		fmt.Printf("relations:     %d\n", m.Relations)
+		fmt.Printf("in core:       %d\n", m.InCore)
+		fmt.Printf("loaded:        %d\n", m.Loaded)
+		fmt.Printf("in file:       %d\n", m.InFile)
+		fmt.Printf("passes:        %d\n", m.Passes)
+		fmt.Printf("unifications:  %d\n", m.Unifications)
+	default:
+		if *dotOut == "" {
+			fmt.Fprintln(os.Stderr, "claan: nothing to do (use -pts, -pts-all, -target, -stats or -dot)")
+			os.Exit(2)
+		}
+	}
+}
+
+// writeDot exports the non-empty points-to relation as a Graphviz digraph:
+// solid edges are may-point-to facts from program variables to objects.
+func writeDot(path string, r *objfile.Reader, res pts.Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Fprintln(f, "digraph pointsto {")
+	fmt.Fprintln(f, "  rankdir=LR;")
+	fmt.Fprintln(f, "  node [shape=box, fontsize=10];")
+	for i := 0; i < r.NumSyms(); i++ {
+		id := prim.SymID(i)
+		if !pts.CountedAsPointerVar(r.Sym(id).Kind) {
+			continue
+		}
+		set := res.PointsTo(id)
+		if len(set) == 0 {
+			continue
+		}
+		for _, z := range set {
+			fmt.Fprintf(f, "  %q -> %q;\n", r.Sym(id).Name, r.Sym(z).Name)
+		}
+	}
+	fmt.Fprintln(f, "}")
+	return nil
+}
+
+func printPts(r *objfile.Reader, res pts.Result, id prim.SymID) {
+	set := res.PointsTo(id)
+	var names []string
+	for _, z := range set {
+		names = append(names, r.Sym(z).Name)
+	}
+	fmt.Printf("%s -> {%s}\n", r.Sym(id).Name, strings.Join(names, ", "))
+}
+
+func runDependence(r *objfile.Reader, src pts.Source, res pts.Result, target, nonTargets string, maxDeps int, tree bool, treeDepth int) {
+	ids := r.TargetLookup(target)
+	if len(ids) == 0 {
+		fmt.Fprintf(os.Stderr, "claan: no object named %q\n", target)
+		os.Exit(1)
+	}
+	opts := depend.Options{NonTargets: map[prim.SymID]bool{}}
+	if nonTargets != "" {
+		for _, n := range strings.Split(nonTargets, ",") {
+			for _, id := range r.TargetLookup(strings.TrimSpace(n)) {
+				opts.NonTargets[id] = true
+			}
+		}
+	}
+	dres, err := depend.Analyze(src, res, ids, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "claan: %v\n", err)
+		os.Exit(1)
+	}
+	if tree {
+		fmt.Print(dres.FormatTree(treeDepth))
+		return
+	}
+	deps := dres.Dependents()
+	fmt.Printf("%d dependents of %s:\n", len(deps), target)
+	for i, d := range deps {
+		if i >= maxDeps {
+			fmt.Printf("... and %d more\n", len(deps)-maxDeps)
+			break
+		}
+		fmt.Printf("[%s d=%d] %s\n", d.Strength, d.Dist, dres.FormatChain(d.Sym))
+	}
+}

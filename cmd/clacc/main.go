@@ -1,0 +1,136 @@
+// Clacc is the CLA compile phase: it parses C source files and writes
+// indexed object databases of primitive assignments (.clo files).
+//
+// Usage:
+//
+//	clacc [-o out.clo] [-I dir]... [-D NAME[=VAL]]... [-mode field-based|field-independent] file.c...
+//
+// With several inputs and no -o, each file.c becomes file.clo.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+
+	"cla/internal/cpp"
+	"cla/internal/driver"
+	"cla/internal/frontend"
+	"cla/internal/linker"
+	"cla/internal/objfile"
+	"cla/internal/prim"
+)
+
+type stringList []string
+
+func (s *stringList) String() string { return strings.Join(*s, ",") }
+func (s *stringList) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
+func main() {
+	var (
+		out      = flag.String("o", "", "output object file (default: input with .clo)")
+		mode     = flag.String("mode", "field-based", "struct mode: field-based or field-independent")
+		strs     = flag.Bool("strings", false, "model string constants as objects")
+		cacheDir = flag.String("cache", "", "object cache directory for incremental recompilation")
+		parallel = flag.Bool("j", true, "compile units in parallel")
+		includes stringList
+		defines  stringList
+	)
+	flag.Var(&includes, "I", "include directory (repeatable)")
+	flag.Var(&defines, "D", "predefine macro NAME[=VALUE] (repeatable)")
+	flag.Parse()
+
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "clacc: no input files")
+		os.Exit(2)
+	}
+	opts := frontend.Options{ModelStrings: *strs, Defines: map[string]string{}}
+	switch *mode {
+	case "field-based":
+		opts.Mode = frontend.FieldBased
+	case "field-independent":
+		opts.Mode = frontend.FieldIndependent
+	default:
+		fmt.Fprintf(os.Stderr, "clacc: bad -mode %q\n", *mode)
+		os.Exit(2)
+	}
+	for _, d := range defines {
+		name, val, found := strings.Cut(d, "=")
+		if !found {
+			val = "1"
+		}
+		opts.Defines[name] = val
+	}
+	loader := cpp.OSLoader{Dirs: includes}
+
+	var cache *driver.Cache
+	if *cacheDir != "" {
+		var err error
+		cache, err = driver.NewCache(*cacheDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "clacc: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	compileOne := func(in string) (*prim.Program, error) {
+		if cache != nil {
+			return cache.CompileUnit(in, loader, opts)
+		}
+		return frontend.CompileFile(in, loader, opts)
+	}
+
+	progs := make([]*prim.Program, flag.NArg())
+	errs := make([]error, flag.NArg())
+	if *parallel {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+		for i, in := range flag.Args() {
+			wg.Add(1)
+			go func(i int, in string) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				progs[i], errs[i] = compileOne(in)
+			}(i, in)
+		}
+		wg.Wait()
+	} else {
+		for i, in := range flag.Args() {
+			progs[i], errs[i] = compileOne(in)
+		}
+	}
+	for i, in := range flag.Args() {
+		if errs[i] != nil {
+			fmt.Fprintf(os.Stderr, "clacc: %v\n", errs[i])
+			os.Exit(1)
+		}
+		if *out == "" {
+			dst := strings.TrimSuffix(in, ".c") + ".clo"
+			if err := objfile.WriteFile(dst, progs[i]); err != nil {
+				fmt.Fprintf(os.Stderr, "clacc: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+	if *out != "" {
+		merged := progs[0]
+		if len(progs) > 1 {
+			var err error
+			merged, err = linker.Link(progs)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "clacc: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if err := objfile.WriteFile(*out, merged); err != nil {
+			fmt.Fprintf(os.Stderr, "clacc: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,44 @@
+// Clald is the CLA link phase: it merges object databases produced by
+// clacc into one database with the same format, unifying global symbols.
+//
+// Usage:
+//
+//	clald -o program.cla file1.clo file2.clo ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cla/internal/linker"
+	"cla/internal/objfile"
+)
+
+func main() {
+	out := flag.String("o", "a.cla", "output database")
+	verbose := flag.Bool("v", false, "print link statistics")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "clald: no input files")
+		os.Exit(2)
+	}
+	merged, err := linker.LinkFiles(flag.Args())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "clald: %v\n", err)
+		os.Exit(1)
+	}
+	if err := objfile.WriteFile(*out, merged); err != nil {
+		fmt.Fprintf(os.Stderr, "clald: %v\n", err)
+		os.Exit(1)
+	}
+	if *verbose {
+		counts := merged.CountByKind()
+		total := 0
+		for _, c := range counts {
+			total += c
+		}
+		fmt.Printf("clald: %d units -> %d symbols, %d assignments\n",
+			flag.NArg(), len(merged.Syms), total)
+	}
+}

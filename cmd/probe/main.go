@@ -1,0 +1,46 @@
+// Probe measures individual solvers on one profile/scale, for calibration.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cla/internal/bench"
+	"cla/internal/core"
+	"cla/internal/driver"
+	"cla/internal/gen"
+	"cla/internal/pts"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "workload scale")
+	solver := flag.String("solver", "pretrans", "solver name")
+	flag.Parse()
+	sv, err := driver.ParseSolver(*solver)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	for _, name := range flag.Args() {
+		p, ok := gen.ProfileByName(name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "no profile %s\n", name)
+			os.Exit(2)
+		}
+		w, err := bench.BuildWorkload(p, *scale, 1)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		start := time.Now()
+		res, err := driver.Analyze(pts.NewMemSource(w.FieldBased), sv, core.DefaultConfig())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-8s %-12s scale=%g time=%-10s relations=%d\n",
+			name, *solver, *scale, time.Since(start).Round(time.Millisecond), res.Metrics().Relations)
+	}
+}

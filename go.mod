@@ -1,0 +1,3 @@
+module cla
+
+go 1.22

@@ -1,0 +1,513 @@
+package cc
+
+// This file defines the abstract syntax tree produced by the parser. The
+// tree is purely syntactic: types are resolved later by internal/ctypes.
+
+// Node is implemented by every AST node.
+type Node interface {
+	Position() Pos
+}
+
+// ---------- Expressions ----------
+
+// Expr is implemented by all expression nodes.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// IdentExpr is a use of a name.
+type IdentExpr struct {
+	Name string
+	Pos_ Pos
+}
+
+// IntExpr is an integer literal.
+type IntExpr struct {
+	Text string
+	Pos_ Pos
+}
+
+// FloatExpr is a floating literal.
+type FloatExpr struct {
+	Text string
+	Pos_ Pos
+}
+
+// CharExpr is a character constant.
+type CharExpr struct {
+	Text string
+	Pos_ Pos
+}
+
+// StringExpr is a (possibly concatenated) string literal.
+type StringExpr struct {
+	Text string // raw source text including quotes of first segment
+	Pos_ Pos
+}
+
+// UnaryExpr is a prefix operator application: & * + - ~ ! ++ --.
+type UnaryExpr struct {
+	Op   string
+	X    Expr
+	Pos_ Pos
+}
+
+// PostfixExpr is x++ or x--.
+type PostfixExpr struct {
+	Op   string // "++" or "--"
+	X    Expr
+	Pos_ Pos
+}
+
+// BinaryExpr is a binary operator application.
+type BinaryExpr struct {
+	Op   string
+	X, Y Expr
+	Pos_ Pos
+}
+
+// AssignExpr is an assignment, possibly compound (+=, ...).
+type AssignExpr struct {
+	Op   string // "=", "+=", ...
+	L, R Expr
+	Pos_ Pos
+}
+
+// CondExpr is c ? t : f.
+type CondExpr struct {
+	Cond, Then, Else Expr
+	Pos_             Pos
+}
+
+// CommaExpr is "a, b".
+type CommaExpr struct {
+	X, Y Expr
+	Pos_ Pos
+}
+
+// CallExpr is f(args...).
+type CallExpr struct {
+	Fun  Expr
+	Args []Expr
+	Pos_ Pos
+}
+
+// IndexExpr is a[i].
+type IndexExpr struct {
+	X, Index Expr
+	Pos_     Pos
+}
+
+// MemberExpr is x.f (Arrow false) or p->f (Arrow true).
+type MemberExpr struct {
+	X     Expr
+	Field string
+	Arrow bool
+	Pos_  Pos
+}
+
+// CastExpr is (type)x.
+type CastExpr struct {
+	Type *TypeName
+	X    Expr
+	Pos_ Pos
+}
+
+// SizeofExpr is sizeof x or sizeof(type).
+type SizeofExpr struct {
+	X    Expr      // nil if Type set
+	Type *TypeName // nil if X set
+	Pos_ Pos
+}
+
+func (e *IdentExpr) Position() Pos   { return e.Pos_ }
+func (e *IntExpr) Position() Pos     { return e.Pos_ }
+func (e *FloatExpr) Position() Pos   { return e.Pos_ }
+func (e *CharExpr) Position() Pos    { return e.Pos_ }
+func (e *StringExpr) Position() Pos  { return e.Pos_ }
+func (e *UnaryExpr) Position() Pos   { return e.Pos_ }
+func (e *PostfixExpr) Position() Pos { return e.Pos_ }
+func (e *BinaryExpr) Position() Pos  { return e.Pos_ }
+func (e *AssignExpr) Position() Pos  { return e.Pos_ }
+func (e *CondExpr) Position() Pos    { return e.Pos_ }
+func (e *CommaExpr) Position() Pos   { return e.Pos_ }
+func (e *CallExpr) Position() Pos    { return e.Pos_ }
+func (e *IndexExpr) Position() Pos   { return e.Pos_ }
+func (e *MemberExpr) Position() Pos  { return e.Pos_ }
+func (e *CastExpr) Position() Pos    { return e.Pos_ }
+func (e *SizeofExpr) Position() Pos  { return e.Pos_ }
+
+func (*IdentExpr) exprNode()   {}
+func (*IntExpr) exprNode()     {}
+func (*FloatExpr) exprNode()   {}
+func (*CharExpr) exprNode()    {}
+func (*StringExpr) exprNode()  {}
+func (*UnaryExpr) exprNode()   {}
+func (*PostfixExpr) exprNode() {}
+func (*BinaryExpr) exprNode()  {}
+func (*AssignExpr) exprNode()  {}
+func (*CondExpr) exprNode()    {}
+func (*CommaExpr) exprNode()   {}
+func (*CallExpr) exprNode()    {}
+func (*IndexExpr) exprNode()   {}
+func (*MemberExpr) exprNode()  {}
+func (*CastExpr) exprNode()    {}
+func (*SizeofExpr) exprNode()  {}
+
+// ---------- Declarations ----------
+
+// StorageClass is a declaration's storage-class specifier.
+type StorageClass uint8
+
+// Storage classes.
+const (
+	SCNone StorageClass = iota
+	SCTypedef
+	SCExtern
+	SCStatic
+	SCAuto
+	SCRegister
+)
+
+func (s StorageClass) String() string {
+	switch s {
+	case SCTypedef:
+		return "typedef"
+	case SCExtern:
+		return "extern"
+	case SCStatic:
+		return "static"
+	case SCAuto:
+		return "auto"
+	case SCRegister:
+		return "register"
+	}
+	return ""
+}
+
+// DeclSpecs is a parsed declaration-specifier sequence.
+type DeclSpecs struct {
+	Storage StorageClass
+	// Basic accumulates basic type keywords in order (e.g. "unsigned",
+	// "long", "long", "int"). Empty when Struct/Enum/TypedefName is set.
+	Basic []string
+	// Struct is a struct-or-union specifier, if present.
+	Struct *StructSpec
+	// Enum is an enum specifier, if present.
+	Enum *EnumSpec
+	// TypedefName references a typedef, if present.
+	TypedefName string
+	Pos_        Pos
+}
+
+func (d *DeclSpecs) Position() Pos { return d.Pos_ }
+
+// StructSpec is `struct S {...}`, `union U {...}` or a reference.
+type StructSpec struct {
+	Union   bool
+	Name    string // "" for anonymous
+	Fields  []*FieldDecl
+	Defined bool // braces present
+	Pos_    Pos
+}
+
+func (s *StructSpec) Position() Pos { return s.Pos_ }
+
+// FieldDecl is one struct/union member declaration (one declarator).
+type FieldDecl struct {
+	Specs *DeclSpecs
+	Decl  Declarator // nil for anonymous bitfield padding or anonymous members
+	Bits  Expr       // bitfield width or nil
+	Pos_  Pos
+}
+
+func (f *FieldDecl) Position() Pos { return f.Pos_ }
+
+// EnumSpec is an enum specifier.
+type EnumSpec struct {
+	Name    string
+	Items   []EnumItem
+	Defined bool
+	Pos_    Pos
+}
+
+func (e *EnumSpec) Position() Pos { return e.Pos_ }
+
+// EnumItem is one enumerator.
+type EnumItem struct {
+	Name  string
+	Value Expr // or nil
+	Pos_  Pos
+}
+
+// Declarator is the syntactic shape wrapping a declared name.
+// The structure mirrors the C grammar: reading from the name outward.
+type Declarator interface {
+	Node
+	declNode()
+	// DeclName returns the declared identifier, or "" for abstract
+	// declarators.
+	DeclName() string
+}
+
+// IdentDecl is the innermost declarator: the declared name itself.
+// An empty name denotes an abstract declarator.
+type IdentDecl struct {
+	Name string
+	Pos_ Pos
+}
+
+// PointerDecl wraps a declarator with one level of pointer.
+type PointerDecl struct {
+	Inner Declarator
+	Pos_  Pos
+}
+
+// ArrayDecl wraps a declarator with an array dimension.
+type ArrayDecl struct {
+	Inner Declarator
+	Size  Expr // nil for []
+	Pos_  Pos
+}
+
+// FuncDecl wraps a declarator with a parameter list.
+type FuncDecl struct {
+	Inner    Declarator
+	Params   []*ParamDecl
+	Variadic bool
+	// KRNames holds identifier-list parameters of an old-style (K&R)
+	// definition; Params is empty in that case until the declarations
+	// following the declarator are attached.
+	KRNames []string
+	Pos_    Pos
+}
+
+func (d *IdentDecl) Position() Pos   { return d.Pos_ }
+func (d *PointerDecl) Position() Pos { return d.Pos_ }
+func (d *ArrayDecl) Position() Pos   { return d.Pos_ }
+func (d *FuncDecl) Position() Pos    { return d.Pos_ }
+
+func (*IdentDecl) declNode()   {}
+func (*PointerDecl) declNode() {}
+func (*ArrayDecl) declNode()   {}
+func (*FuncDecl) declNode()    {}
+
+// DeclName returns the declared identifier.
+func (d *IdentDecl) DeclName() string { return d.Name }
+
+// DeclName returns the declared identifier.
+func (d *PointerDecl) DeclName() string { return d.Inner.DeclName() }
+
+// DeclName returns the declared identifier.
+func (d *ArrayDecl) DeclName() string { return d.Inner.DeclName() }
+
+// DeclName returns the declared identifier.
+func (d *FuncDecl) DeclName() string { return d.Inner.DeclName() }
+
+// ParamDecl is one function parameter.
+type ParamDecl struct {
+	Specs *DeclSpecs
+	Decl  Declarator // possibly abstract
+	Pos_  Pos
+}
+
+func (p *ParamDecl) Position() Pos { return p.Pos_ }
+
+// TypeName is a type-name as used in casts and sizeof.
+type TypeName struct {
+	Specs *DeclSpecs
+	Decl  Declarator // abstract
+	Pos_  Pos
+}
+
+func (t *TypeName) Position() Pos { return t.Pos_ }
+
+// Init is an initializer: a plain expression or a braced list.
+type Init struct {
+	Expr Expr    // non-nil for scalar initializer
+	List []*Init // non-nil for braced list
+	// Field is a designator like `.x` (empty if none); index designators
+	// are parsed and discarded (arrays are index-independent downstream).
+	Field string
+	Pos_  Pos
+}
+
+func (i *Init) Position() Pos { return i.Pos_ }
+
+// InitDeclarator is one declarator with optional initializer.
+type InitDeclarator struct {
+	Decl *DeclaratorBox
+	Init *Init
+}
+
+// DeclaratorBox pairs a declarator with its declaration specifiers after
+// parsing. (Specs live on the Declaration; the box exists so the checker
+// can attach resolved types without re-walking syntax.)
+type DeclaratorBox struct {
+	D    Declarator
+	Pos_ Pos
+}
+
+func (b *DeclaratorBox) Position() Pos { return b.Pos_ }
+
+// Declaration is a complete declaration: specifiers plus init-declarators.
+type Declaration struct {
+	Specs *DeclSpecs
+	Items []*InitDeclarator
+	Pos_  Pos
+}
+
+func (d *Declaration) Position() Pos { return d.Pos_ }
+
+// FuncDef is a function definition.
+type FuncDef struct {
+	Specs *DeclSpecs
+	Decl  *DeclaratorBox // must contain a FuncDecl spine
+	// KRDecls are the parameter declarations of an old-style definition.
+	KRDecls []*Declaration
+	Body    *CompoundStmt
+	Pos_    Pos
+}
+
+func (f *FuncDef) Position() Pos { return f.Pos_ }
+
+// ExtDecl is a top-level entity: *Declaration or *FuncDef.
+type ExtDecl interface {
+	Node
+	extDeclNode()
+}
+
+func (*Declaration) extDeclNode() {}
+func (*FuncDef) extDeclNode()     {}
+
+// TranslationUnit is one parsed source file.
+type TranslationUnit struct {
+	Name  string
+	Decls []ExtDecl
+}
+
+// ---------- Statements ----------
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// CompoundStmt is `{ ... }`.
+type CompoundStmt struct {
+	Items []Stmt // DeclStmt or other statements
+	Pos_  Pos
+}
+
+// DeclStmt wraps a block-level declaration.
+type DeclStmt struct {
+	Decl *Declaration
+}
+
+// ExprStmt is an expression statement; Expr may be nil (empty statement).
+type ExprStmt struct {
+	Expr Expr
+	Pos_ Pos
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	Cond       Expr
+	Then, Else Stmt // Else may be nil
+	Pos_       Pos
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Cond Expr
+	Body Stmt
+	Pos_ Pos
+}
+
+// DoStmt is a do-while loop.
+type DoStmt struct {
+	Body Stmt
+	Cond Expr
+	Pos_ Pos
+}
+
+// ForStmt is a for loop. Init may be a declaration (C99) or expression.
+type ForStmt struct {
+	InitDecl *Declaration // or nil
+	Init     Expr         // or nil
+	Cond     Expr         // or nil
+	Post     Expr         // or nil
+	Body     Stmt
+	Pos_     Pos
+}
+
+// SwitchStmt is a switch.
+type SwitchStmt struct {
+	Tag  Expr
+	Body Stmt
+	Pos_ Pos
+}
+
+// CaseStmt is `case e:` or `default:` (Expr nil) with its statement.
+type CaseStmt struct {
+	Expr Expr // nil for default
+	Body Stmt // may be nil for trailing label
+	Pos_ Pos
+}
+
+// BreakStmt is break.
+type BreakStmt struct{ Pos_ Pos }
+
+// ContinueStmt is continue.
+type ContinueStmt struct{ Pos_ Pos }
+
+// ReturnStmt is return with optional value.
+type ReturnStmt struct {
+	Expr Expr // or nil
+	Pos_ Pos
+}
+
+// GotoStmt is goto label.
+type GotoStmt struct {
+	Label string
+	Pos_  Pos
+}
+
+// LabelStmt is `label: stmt`.
+type LabelStmt struct {
+	Label string
+	Body  Stmt
+	Pos_  Pos
+}
+
+func (s *CompoundStmt) Position() Pos { return s.Pos_ }
+func (s *DeclStmt) Position() Pos     { return s.Decl.Position() }
+func (s *ExprStmt) Position() Pos     { return s.Pos_ }
+func (s *IfStmt) Position() Pos       { return s.Pos_ }
+func (s *WhileStmt) Position() Pos    { return s.Pos_ }
+func (s *DoStmt) Position() Pos       { return s.Pos_ }
+func (s *ForStmt) Position() Pos      { return s.Pos_ }
+func (s *SwitchStmt) Position() Pos   { return s.Pos_ }
+func (s *CaseStmt) Position() Pos     { return s.Pos_ }
+func (s *BreakStmt) Position() Pos    { return s.Pos_ }
+func (s *ContinueStmt) Position() Pos { return s.Pos_ }
+func (s *ReturnStmt) Position() Pos   { return s.Pos_ }
+func (s *GotoStmt) Position() Pos     { return s.Pos_ }
+func (s *LabelStmt) Position() Pos    { return s.Pos_ }
+
+func (*CompoundStmt) stmtNode() {}
+func (*DeclStmt) stmtNode()     {}
+func (*ExprStmt) stmtNode()     {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*DoStmt) stmtNode()       {}
+func (*ForStmt) stmtNode()      {}
+func (*SwitchStmt) stmtNode()   {}
+func (*CaseStmt) stmtNode()     {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+func (*ReturnStmt) stmtNode()   {}
+func (*GotoStmt) stmtNode()     {}
+func (*LabelStmt) stmtNode()    {}

@@ -1,0 +1,310 @@
+package cc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dump renders a node as a compact S-expression, for tests and debugging.
+func Dump(n Node) string {
+	var b strings.Builder
+	dump(&b, n)
+	return b.String()
+}
+
+func dump(b *strings.Builder, n Node) {
+	switch v := n.(type) {
+	case nil:
+		b.WriteString("nil")
+	case *IdentExpr:
+		b.WriteString(v.Name)
+	case *IntExpr:
+		b.WriteString(v.Text)
+	case *FloatExpr:
+		b.WriteString(v.Text)
+	case *CharExpr:
+		b.WriteString(v.Text)
+	case *StringExpr:
+		b.WriteString(v.Text)
+	case *UnaryExpr:
+		fmt.Fprintf(b, "(%s ", v.Op)
+		dump(b, v.X)
+		b.WriteString(")")
+	case *PostfixExpr:
+		fmt.Fprintf(b, "(post%s ", v.Op)
+		dump(b, v.X)
+		b.WriteString(")")
+	case *BinaryExpr:
+		fmt.Fprintf(b, "(%s ", v.Op)
+		dump(b, v.X)
+		b.WriteString(" ")
+		dump(b, v.Y)
+		b.WriteString(")")
+	case *AssignExpr:
+		fmt.Fprintf(b, "(%s ", v.Op)
+		dump(b, v.L)
+		b.WriteString(" ")
+		dump(b, v.R)
+		b.WriteString(")")
+	case *CondExpr:
+		b.WriteString("(?: ")
+		dump(b, v.Cond)
+		b.WriteString(" ")
+		dump(b, v.Then)
+		b.WriteString(" ")
+		dump(b, v.Else)
+		b.WriteString(")")
+	case *CommaExpr:
+		b.WriteString("(, ")
+		dump(b, v.X)
+		b.WriteString(" ")
+		dump(b, v.Y)
+		b.WriteString(")")
+	case *CallExpr:
+		b.WriteString("(call ")
+		dump(b, v.Fun)
+		for _, a := range v.Args {
+			b.WriteString(" ")
+			dump(b, a)
+		}
+		b.WriteString(")")
+	case *IndexExpr:
+		b.WriteString("(index ")
+		dump(b, v.X)
+		b.WriteString(" ")
+		dump(b, v.Index)
+		b.WriteString(")")
+	case *MemberExpr:
+		op := "."
+		if v.Arrow {
+			op = "->"
+		}
+		fmt.Fprintf(b, "(%s ", op)
+		dump(b, v.X)
+		fmt.Fprintf(b, " %s)", v.Field)
+	case *CastExpr:
+		b.WriteString("(cast ")
+		dumpTypeName(b, v.Type)
+		b.WriteString(" ")
+		dump(b, v.X)
+		b.WriteString(")")
+	case *SizeofExpr:
+		b.WriteString("(sizeof ")
+		if v.X != nil {
+			dump(b, v.X)
+		} else {
+			dumpTypeName(b, v.Type)
+		}
+		b.WriteString(")")
+	case *CompoundStmt:
+		b.WriteString("{")
+		for i, s := range v.Items {
+			if i > 0 {
+				b.WriteString(" ")
+			}
+			dump(b, s)
+		}
+		b.WriteString("}")
+	case *DeclStmt:
+		dump(b, v.Decl)
+	case *ExprStmt:
+		if v.Expr == nil {
+			b.WriteString(";")
+		} else {
+			dump(b, v.Expr)
+			b.WriteString(";")
+		}
+	case *IfStmt:
+		b.WriteString("(if ")
+		dump(b, v.Cond)
+		b.WriteString(" ")
+		dump(b, v.Then)
+		if v.Else != nil {
+			b.WriteString(" ")
+			dump(b, v.Else)
+		}
+		b.WriteString(")")
+	case *WhileStmt:
+		b.WriteString("(while ")
+		dump(b, v.Cond)
+		b.WriteString(" ")
+		dump(b, v.Body)
+		b.WriteString(")")
+	case *DoStmt:
+		b.WriteString("(do ")
+		dump(b, v.Body)
+		b.WriteString(" ")
+		dump(b, v.Cond)
+		b.WriteString(")")
+	case *ForStmt:
+		b.WriteString("(for ")
+		if v.InitDecl != nil {
+			dump(b, v.InitDecl)
+		} else {
+			dump(b, v.Init)
+		}
+		b.WriteString(" ")
+		dump(b, v.Cond)
+		b.WriteString(" ")
+		dump(b, v.Post)
+		b.WriteString(" ")
+		dump(b, v.Body)
+		b.WriteString(")")
+	case *SwitchStmt:
+		b.WriteString("(switch ")
+		dump(b, v.Tag)
+		b.WriteString(" ")
+		dump(b, v.Body)
+		b.WriteString(")")
+	case *CaseStmt:
+		if v.Expr == nil {
+			b.WriteString("(default")
+		} else {
+			b.WriteString("(case ")
+			dump(b, v.Expr)
+		}
+		if v.Body != nil {
+			b.WriteString(" ")
+			dump(b, v.Body)
+		}
+		b.WriteString(")")
+	case *BreakStmt:
+		b.WriteString("break;")
+	case *ContinueStmt:
+		b.WriteString("continue;")
+	case *ReturnStmt:
+		b.WriteString("(return")
+		if v.Expr != nil {
+			b.WriteString(" ")
+			dump(b, v.Expr)
+		}
+		b.WriteString(")")
+	case *GotoStmt:
+		fmt.Fprintf(b, "(goto %s)", v.Label)
+	case *LabelStmt:
+		fmt.Fprintf(b, "(label %s", v.Label)
+		if v.Body != nil {
+			b.WriteString(" ")
+			dump(b, v.Body)
+		}
+		b.WriteString(")")
+	case *Declaration:
+		b.WriteString("(decl ")
+		dumpSpecs(b, v.Specs)
+		for _, it := range v.Items {
+			b.WriteString(" ")
+			dumpDeclarator(b, it.Decl.D)
+			if it.Init != nil {
+				b.WriteString("=")
+				dumpInit(b, it.Init)
+			}
+		}
+		b.WriteString(")")
+	case *FuncDef:
+		b.WriteString("(func ")
+		dumpSpecs(b, v.Specs)
+		b.WriteString(" ")
+		dumpDeclarator(b, v.Decl.D)
+		b.WriteString(" ")
+		dump(b, v.Body)
+		b.WriteString(")")
+	default:
+		fmt.Fprintf(b, "<%T>", n)
+	}
+}
+
+func dumpSpecs(b *strings.Builder, s *DeclSpecs) {
+	if s == nil {
+		b.WriteString("?")
+		return
+	}
+	if sc := s.Storage.String(); sc != "" {
+		b.WriteString(sc)
+		b.WriteString(" ")
+	}
+	switch {
+	case s.Struct != nil:
+		kw := "struct"
+		if s.Struct.Union {
+			kw = "union"
+		}
+		fmt.Fprintf(b, "%s:%s", kw, s.Struct.Name)
+	case s.Enum != nil:
+		fmt.Fprintf(b, "enum:%s", s.Enum.Name)
+	case s.TypedefName != "":
+		b.WriteString(s.TypedefName)
+	default:
+		b.WriteString(strings.Join(s.Basic, "-"))
+	}
+}
+
+func dumpDeclarator(b *strings.Builder, d Declarator) {
+	switch v := d.(type) {
+	case *IdentDecl:
+		if v.Name == "" {
+			b.WriteString("_")
+		} else {
+			b.WriteString(v.Name)
+		}
+	case *PointerDecl:
+		b.WriteString("(* ")
+		dumpDeclarator(b, v.Inner)
+		b.WriteString(")")
+	case *ArrayDecl:
+		b.WriteString("(arr ")
+		dumpDeclarator(b, v.Inner)
+		b.WriteString(")")
+	case *FuncDecl:
+		b.WriteString("(fn ")
+		dumpDeclarator(b, v.Inner)
+		for _, prm := range v.Params {
+			b.WriteString(" ")
+			dumpSpecs(b, prm.Specs)
+			if prm.Decl != nil {
+				b.WriteString(":")
+				dumpDeclarator(b, prm.Decl)
+			}
+		}
+		for _, n := range v.KRNames {
+			b.WriteString(" kr:" + n)
+		}
+		if v.Variadic {
+			b.WriteString(" ...")
+		}
+		b.WriteString(")")
+	default:
+		fmt.Fprintf(b, "<%T>", d)
+	}
+}
+
+func dumpTypeName(b *strings.Builder, t *TypeName) {
+	if t == nil {
+		b.WriteString("?")
+		return
+	}
+	dumpSpecs(b, t.Specs)
+	if t.Decl != nil {
+		if _, bare := t.Decl.(*IdentDecl); !bare {
+			b.WriteString(" ")
+			dumpDeclarator(b, t.Decl)
+		}
+	}
+}
+
+func dumpInit(b *strings.Builder, i *Init) {
+	if i.Expr != nil {
+		dump(b, i.Expr)
+		return
+	}
+	b.WriteString("{")
+	for j, it := range i.List {
+		if j > 0 {
+			b.WriteString(" ")
+		}
+		if it.Field != "" {
+			fmt.Fprintf(b, ".%s=", it.Field)
+		}
+		dumpInit(b, it)
+	}
+	b.WriteString("}")
+}

@@ -1,0 +1,109 @@
+package cc
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDumpStatements(t *testing.T) {
+	src := `void f(int n) {
+	int i;
+	if (n) n = 1; else n = 2;
+	while (n) n--;
+	do n++; while (n < 3);
+	for (i = 0; i < n; i++) g();
+	switch (n) { case 1: break; default: continue; }
+	goto out;
+out:
+	return;
+}`
+	u := parseOK(t, src)
+	got := Dump(u.Decls[0])
+	for _, want := range []string{
+		"(if n", "(while n", "(do", "(for", "(switch n",
+		"(case 1 break;)", "(default continue;)",
+		"(goto out)", "(label out", "(return)",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("dump missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestDumpReturnValueAndEmptyStmt(t *testing.T) {
+	u := parseOK(t, "int f(void) { ; return 3; }")
+	got := Dump(u.Decls[0])
+	if !strings.Contains(got, "(return 3)") {
+		t.Errorf("dump = %s", got)
+	}
+}
+
+func TestDumpNil(t *testing.T) {
+	if got := Dump(nil); got != "nil" {
+		t.Errorf("Dump(nil) = %q", got)
+	}
+}
+
+func TestDumpInitializers(t *testing.T) {
+	u := parseOK(t, "struct P { int x, y; } p = { .x = 1, 2 };")
+	got := Dump(u.Decls[0])
+	if !strings.Contains(got, ".x=1") || !strings.Contains(got, "2}") {
+		t.Errorf("dump = %s", got)
+	}
+}
+
+func TestDumpSizeofAndCast(t *testing.T) {
+	got := exprDump(t, "n = sizeof(long) + (unsigned)x")
+	if !strings.Contains(got, "(sizeof long)") || !strings.Contains(got, "cast unsigned") {
+		t.Errorf("dump = %s", got)
+	}
+}
+
+func TestPosStrings(t *testing.T) {
+	p := Pos{File: "x.c", Line: 3}
+	if p.String() != "x.c:3" {
+		t.Errorf("Pos = %q", p.String())
+	}
+	var zero Pos
+	if zero.String() != "<unknown>" {
+		t.Errorf("zero Pos = %q", zero.String())
+	}
+	tok := Token{Kind: Ident, Text: "abc"}
+	if tok.String() != "abc" {
+		t.Errorf("token = %q", tok.String())
+	}
+	eof := Token{Kind: EOF}
+	if eof.String() != "EOF" {
+		t.Errorf("eof = %q", eof.String())
+	}
+}
+
+func TestTokKindStrings(t *testing.T) {
+	kinds := map[TokKind]string{
+		EOF: "EOF", Ident: "identifier", Keyword: "keyword",
+		IntLit: "integer", FloatLit: "float", CharLit: "character",
+		StringLit: "string", Punct: "punctuation",
+	}
+	for k, want := range kinds {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestErrorListCap(t *testing.T) {
+	el := &ErrorList{Max: 3}
+	for i := 0; i < 10; i++ {
+		el.Add(Pos{"f.c", i}, "err %d", i)
+	}
+	if len(el.Errs) != 3 {
+		t.Errorf("errors kept = %d, want 3", len(el.Errs))
+	}
+	if el.Err() == nil {
+		t.Error("Err() = nil")
+	}
+	empty := &ErrorList{}
+	if empty.Err() != nil {
+		t.Error("empty Err() != nil")
+	}
+}

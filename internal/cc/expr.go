@@ -1,0 +1,242 @@
+package cc
+
+// Expression parsing: precedence climbing over the full C operator set.
+
+// binPrec maps binary operators to precedence; higher binds tighter.
+// Assignment and ?: are handled separately (right-associative).
+var binPrec = map[string]int{
+	"||": 1,
+	"&&": 2,
+	"|":  3,
+	"^":  4,
+	"&":  5,
+	"==": 6, "!=": 6,
+	"<": 7, ">": 7, "<=": 7, ">=": 7,
+	"<<": 8, ">>": 8,
+	"+": 9, "-": 9,
+	"*": 10, "/": 10, "%": 10,
+}
+
+var assignOps = map[string]bool{
+	"=": true, "+=": true, "-=": true, "*=": true, "/=": true, "%=": true,
+	"<<=": true, ">>=": true, "&=": true, "^=": true, "|=": true,
+}
+
+// parseExpr parses a full expression including the comma operator.
+func (p *Parser) parseExpr() Expr {
+	e := p.parseAssignExpr()
+	for p.atPunct(",") {
+		pos := p.next().Pos
+		rhs := p.parseAssignExpr()
+		e = &CommaExpr{X: e, Y: rhs, Pos_: pos}
+	}
+	return e
+}
+
+// parseAssignExpr parses an assignment-expression.
+func (p *Parser) parseAssignExpr() Expr {
+	lhs := p.parseCondExpr()
+	t := p.tok()
+	if t.Kind == Punct && assignOps[t.Text] {
+		p.next()
+		rhs := p.parseAssignExpr()
+		return &AssignExpr{Op: t.Text, L: lhs, R: rhs, Pos_: t.Pos}
+	}
+	return lhs
+}
+
+// parseCondExpr parses a conditional-expression.
+func (p *Parser) parseCondExpr() Expr {
+	cond := p.parseBinary(1)
+	if !p.atPunct("?") {
+		return cond
+	}
+	pos := p.next().Pos
+	// GNU extension: `a ?: b` means `a ? a : b`.
+	if p.atPunct(":") {
+		p.next()
+		els := p.parseCondExpr()
+		return &CondExpr{Cond: cond, Then: cond, Else: els, Pos_: pos}
+	}
+	then := p.parseExpr()
+	p.expect(":")
+	els := p.parseCondExpr()
+	return &CondExpr{Cond: cond, Then: then, Else: els, Pos_: pos}
+}
+
+// parseBinary parses binary operators with precedence >= min.
+func (p *Parser) parseBinary(min int) Expr {
+	lhs := p.parseCast()
+	for {
+		t := p.tok()
+		if t.Kind != Punct {
+			return lhs
+		}
+		prec, ok := binPrec[t.Text]
+		if !ok || prec < min {
+			return lhs
+		}
+		p.next()
+		rhs := p.parseBinary(prec + 1)
+		lhs = &BinaryExpr{Op: t.Text, X: lhs, Y: rhs, Pos_: t.Pos}
+	}
+}
+
+// parseCast parses cast-expression: (type-name) cast-expression | unary.
+func (p *Parser) parseCast() Expr {
+	if p.atPunct("(") && p.castParen() {
+		pos := p.next().Pos
+		tn := p.parseTypeName()
+		p.expect(")")
+		// `(T){...}` compound literal: treat the braced initializer as an
+		// anonymous object; conservatively parse and ignore designators.
+		if p.atPunct("{") {
+			init := p.parseInit()
+			return &CastExpr{Type: tn, X: compoundLiteralExpr(init, pos), Pos_: pos}
+		}
+		x := p.parseCast()
+		return &CastExpr{Type: tn, X: x, Pos_: pos}
+	}
+	return p.parseUnary()
+}
+
+// compoundLiteralExpr flattens a compound literal's scalar initializers
+// into a comma expression so the frontend still sees the value flows.
+func compoundLiteralExpr(init *Init, pos Pos) Expr {
+	var exprs []Expr
+	var walk func(*Init)
+	walk = func(i *Init) {
+		if i == nil {
+			return
+		}
+		if i.Expr != nil {
+			exprs = append(exprs, i.Expr)
+		}
+		for _, it := range i.List {
+			walk(it)
+		}
+	}
+	walk(init)
+	if len(exprs) == 0 {
+		return &IntExpr{Text: "0", Pos_: pos}
+	}
+	e := exprs[0]
+	for _, x := range exprs[1:] {
+		e = &CommaExpr{X: e, Y: x, Pos_: pos}
+	}
+	return e
+}
+
+// castParen reports whether '(' begins a cast (i.e. is followed by a
+// type-name).
+func (p *Parser) castParen() bool {
+	save := p.pos
+	defer func() { p.pos = save }()
+	p.next() // '('
+	return p.atTypeStart()
+}
+
+func (p *Parser) parseUnary() Expr {
+	t := p.tok()
+	if t.Kind == Punct {
+		switch t.Text {
+		case "&", "*", "+", "-", "~", "!":
+			p.next()
+			x := p.parseCast()
+			return &UnaryExpr{Op: t.Text, X: x, Pos_: t.Pos}
+		case "++", "--":
+			p.next()
+			x := p.parseUnary()
+			return &UnaryExpr{Op: t.Text, X: x, Pos_: t.Pos}
+		}
+	}
+	if t.Kind == Keyword && t.Text == "sizeof" {
+		p.next()
+		if p.atPunct("(") && p.castParen() {
+			p.next()
+			tn := p.parseTypeName()
+			p.expect(")")
+			return &SizeofExpr{Type: tn, Pos_: t.Pos}
+		}
+		x := p.parseUnary()
+		return &SizeofExpr{X: x, Pos_: t.Pos}
+	}
+	return p.parsePostfix()
+}
+
+func (p *Parser) parsePostfix() Expr {
+	e := p.parsePrimary()
+	for {
+		t := p.tok()
+		if t.Kind != Punct {
+			return e
+		}
+		switch t.Text {
+		case "[":
+			p.next()
+			idx := p.parseExpr()
+			p.expect("]")
+			e = &IndexExpr{X: e, Index: idx, Pos_: t.Pos}
+		case "(":
+			p.next()
+			call := &CallExpr{Fun: e, Pos_: t.Pos}
+			for !p.atPunct(")") && !p.at(EOF) {
+				call.Args = append(call.Args, p.parseAssignExpr())
+				if !p.atPunct(",") {
+					break
+				}
+				p.next()
+			}
+			p.expect(")")
+			e = call
+		case ".", "->":
+			p.next()
+			if !p.at(Ident) {
+				p.errorf("expected field name after %q", t.Text)
+				return e
+			}
+			f := p.next().Text
+			e = &MemberExpr{X: e, Field: f, Arrow: t.Text == "->", Pos_: t.Pos}
+		case "++", "--":
+			p.next()
+			e = &PostfixExpr{Op: t.Text, X: e, Pos_: t.Pos}
+		default:
+			return e
+		}
+	}
+}
+
+func (p *Parser) parsePrimary() Expr {
+	t := p.tok()
+	switch t.Kind {
+	case Ident:
+		p.next()
+		return &IdentExpr{Name: t.Text, Pos_: t.Pos}
+	case IntLit:
+		p.next()
+		return &IntExpr{Text: t.Text, Pos_: t.Pos}
+	case FloatLit:
+		p.next()
+		return &FloatExpr{Text: t.Text, Pos_: t.Pos}
+	case CharLit:
+		p.next()
+		return &CharExpr{Text: t.Text, Pos_: t.Pos}
+	case StringLit:
+		p.next()
+		// Adjacent string literals concatenate.
+		for p.at(StringLit) {
+			p.next()
+		}
+		return &StringExpr{Text: t.Text, Pos_: t.Pos}
+	case Punct:
+		if t.Text == "(" {
+			p.next()
+			e := p.parseExpr()
+			p.expect(")")
+			return e
+		}
+	}
+	p.errorf("expected expression, found %q", t.Text)
+	p.next()
+	return &IntExpr{Text: "0", Pos_: t.Pos}
+}

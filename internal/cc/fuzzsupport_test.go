@@ -1,0 +1,10 @@
+package cc
+
+import (
+	"math/rand"
+	"time"
+)
+
+func newTestRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func timeAfter() <-chan time.Time { return time.After(5 * time.Second) }

@@ -1,0 +1,195 @@
+package cc
+
+// Statement parsing.
+
+// parseCompound parses `{ ... }`; the caller manages the enclosing scope
+// for function bodies, but nested blocks get their own scope here.
+func (p *Parser) parseCompound() *CompoundStmt {
+	pos := p.expect("{").Pos
+	cs := &CompoundStmt{Pos_: pos}
+	for !p.atPunct("}") && !p.at(EOF) {
+		start := p.pos
+		s := p.parseBlockItem()
+		if s != nil {
+			cs.Items = append(cs.Items, s)
+		}
+		if p.pos == start {
+			p.errorf("unexpected token %q in block", p.tok().Text)
+			p.next()
+		}
+	}
+	p.expect("}")
+	return cs
+}
+
+func (p *Parser) parseBlockItem() Stmt {
+	if p.atDeclStart() {
+		// Disambiguate `x * y;` style statements: a typedef name followed
+		// by something that cannot continue a declaration is an
+		// expression after all. atDeclStart already requires a typedef
+		// for plain identifiers, so this is safe.
+		d := p.parseDeclarationTail()
+		if d == nil {
+			return nil
+		}
+		return &DeclStmt{Decl: d}
+	}
+	return p.parseStmt()
+}
+
+func (p *Parser) parseStmt() Stmt {
+	t := p.tok()
+	// GCC asm statements carry no data flow; skip to the semicolon
+	// (tolerating the volatile/goto qualifiers between asm and parens).
+	if (t.Kind == Keyword && t.Text == "asm") ||
+		(t.Kind == Ident && (t.Text == "__asm__" || t.Text == "__asm")) {
+		for !p.atPunct(";") && !p.at(EOF) {
+			p.next()
+		}
+		p.expect(";")
+		return &ExprStmt{Pos_: t.Pos}
+	}
+	switch {
+	case p.atPunct("{"):
+		p.pushScope()
+		s := p.parseCompound()
+		p.popScope()
+		return s
+	case p.atPunct(";"):
+		p.next()
+		return &ExprStmt{Pos_: t.Pos}
+	case t.Kind == Keyword:
+		switch t.Text {
+		case "if":
+			return p.parseIf()
+		case "while":
+			return p.parseWhile()
+		case "do":
+			return p.parseDo()
+		case "for":
+			return p.parseFor()
+		case "switch":
+			return p.parseSwitch()
+		case "case":
+			p.next()
+			e := p.parseCondExpr()
+			p.expect(":")
+			return &CaseStmt{Expr: e, Body: p.optionalLabelBody(), Pos_: t.Pos}
+		case "default":
+			p.next()
+			p.expect(":")
+			return &CaseStmt{Body: p.optionalLabelBody(), Pos_: t.Pos}
+		case "break":
+			p.next()
+			p.expect(";")
+			return &BreakStmt{Pos_: t.Pos}
+		case "continue":
+			p.next()
+			p.expect(";")
+			return &ContinueStmt{Pos_: t.Pos}
+		case "return":
+			p.next()
+			var e Expr
+			if !p.atPunct(";") {
+				e = p.parseExpr()
+			}
+			p.expect(";")
+			return &ReturnStmt{Expr: e, Pos_: t.Pos}
+		case "goto":
+			p.next()
+			label := ""
+			if p.at(Ident) {
+				label = p.next().Text
+			} else {
+				p.errorf("expected label after goto")
+			}
+			p.expect(";")
+			return &GotoStmt{Label: label, Pos_: t.Pos}
+		}
+	case t.Kind == Ident && p.peek().Kind == Punct && p.peek().Text == ":":
+		p.next()
+		p.next()
+		return &LabelStmt{Label: t.Text, Body: p.optionalLabelBody(), Pos_: t.Pos}
+	}
+	// Expression statement.
+	e := p.parseExpr()
+	p.expect(";")
+	return &ExprStmt{Expr: e, Pos_: t.Pos}
+}
+
+// optionalLabelBody parses the statement following a label, tolerating a
+// label directly before '}'.
+func (p *Parser) optionalLabelBody() Stmt {
+	if p.atPunct("}") {
+		return nil
+	}
+	return p.parseBlockItem()
+}
+
+func (p *Parser) parseIf() Stmt {
+	pos := p.next().Pos
+	p.expect("(")
+	cond := p.parseExpr()
+	p.expect(")")
+	then := p.parseStmt()
+	var els Stmt
+	if p.atKeyword("else") {
+		p.next()
+		els = p.parseStmt()
+	}
+	return &IfStmt{Cond: cond, Then: then, Else: els, Pos_: pos}
+}
+
+func (p *Parser) parseWhile() Stmt {
+	pos := p.next().Pos
+	p.expect("(")
+	cond := p.parseExpr()
+	p.expect(")")
+	return &WhileStmt{Cond: cond, Body: p.parseStmt(), Pos_: pos}
+}
+
+func (p *Parser) parseDo() Stmt {
+	pos := p.next().Pos
+	body := p.parseStmt()
+	p.expect("while")
+	p.expect("(")
+	cond := p.parseExpr()
+	p.expect(")")
+	p.expect(";")
+	return &DoStmt{Body: body, Cond: cond, Pos_: pos}
+}
+
+func (p *Parser) parseFor() Stmt {
+	pos := p.next().Pos
+	p.expect("(")
+	f := &ForStmt{Pos_: pos}
+	p.pushScope()
+	switch {
+	case p.atPunct(";"):
+		p.next()
+	case p.atDeclStart():
+		f.InitDecl = p.parseDeclarationTail() // consumes ';'
+	default:
+		f.Init = p.parseExpr()
+		p.expect(";")
+	}
+	if !p.atPunct(";") {
+		f.Cond = p.parseExpr()
+	}
+	p.expect(";")
+	if !p.atPunct(")") {
+		f.Post = p.parseExpr()
+	}
+	p.expect(")")
+	f.Body = p.parseStmt()
+	p.popScope()
+	return f
+}
+
+func (p *Parser) parseSwitch() Stmt {
+	pos := p.next().Pos
+	p.expect("(")
+	tag := p.parseExpr()
+	p.expect(")")
+	return &SwitchStmt{Tag: tag, Body: p.parseStmt(), Pos_: pos}
+}

@@ -1,0 +1,284 @@
+// Package core implements the paper's pre-transitive graph algorithm for
+// Andersen's points-to analysis (Section 5).
+//
+// The constraint graph is maintained in non-transitively-closed form: an
+// edge n(x) → n(y) records the subset constraint x ⊇ y introduced by a
+// simple assignment x = y, and base elements record x = &y directly on
+// n(x). Points-to sets are never propagated along edges; instead, when the
+// set of lvals of a variable is needed, a graph reachability computation
+// (getLvals) walks the out-edges and unions the base elements of every
+// reachable node.
+//
+// Two optimizations make this practical, exactly as in the paper:
+//
+//   - Caching: reachability results are cached per pass of the outer
+//     fixpoint; stale results are repaired because the nochange flag forces
+//     another pass whenever anything was learned.
+//   - Cycle elimination: cycles discovered during reachability are
+//     collapsed by unifying their nodes through skip pointers. Detection is
+//     free during traversal, and all cycles in the traversed region are
+//     found — the costly ones, as the paper observes.
+//
+// The solver also implements the CLA demand-loading discipline: the block
+// of assignments whose source is x is loaded only when n(x) becomes
+// relevant (can contribute lvals), and simple/base assignments are
+// discarded once converted to graph state while complex assignments stay
+// in core.
+package core
+
+import (
+	"fmt"
+
+	"cla/internal/prim"
+	"cla/internal/pts"
+)
+
+// Config controls the solver's optimizations; the zero value disables
+// everything (useful only for ablation), so use DefaultConfig.
+type Config struct {
+	// Cache enables per-pass caching of reachability computations.
+	Cache bool
+	// CycleElim enables unification of cycle members during reachability.
+	CycleElim bool
+	// DemandLoad loads per-object assignment blocks only when the object
+	// becomes relevant; when false the whole database is loaded upfront.
+	DemandLoad bool
+	// MaxPasses bounds the outer fixpoint (safety net; 0 = 1<<20).
+	MaxPasses int
+}
+
+// DefaultConfig enables caching, cycle elimination and demand loading.
+func DefaultConfig() Config {
+	return Config{Cache: true, CycleElim: true, DemandLoad: true}
+}
+
+// complexKind distinguishes the two retained assignment forms.
+type complexKind uint8
+
+const (
+	ckStore complexKind = iota // *x = y
+	ckLoad                     // x = *y
+)
+
+// complexAssign is one in-core complex assignment over graph nodes.
+type complexAssign struct {
+	kind complexKind
+	x, y int32
+}
+
+// Solver holds the pre-transitive graph state.
+type Solver struct {
+	src pts.Source
+	cfg Config
+
+	nodes   []node
+	numSyms int32
+
+	complex []complexAssign
+
+	// loadQueue holds symbols whose blocks await demand loading.
+	loadQueue []int32
+	loadedBlk []bool // per symbol
+
+	// funcptr linking state.
+	recs      []prim.FuncRecord
+	recOfFunc map[int32]int // function symbol node → record index
+	ptrRecs   []int         // record indexes of function-pointer symbols
+
+	pass    int32
+	changed bool
+
+	// traversal scratch (see reach.go).
+	tEpoch   int32
+	tVisit   []int32
+	tIndex   []int32
+	tLow     []int32
+	tOnStack []bool
+	tDone    []bool
+	tVal     [][]prim.SymID
+	nEpoch   int32
+	nSeen    []int32
+	gnBuf    []int32
+	interned map[uint64][][]prim.SymID
+
+	m pts.Metrics
+}
+
+type node struct {
+	skip  int32 // ≥0: unified into that node
+	edges []int32
+	eset  map[int32]struct{}
+	base  []prim.SymID // sorted base elements (lvals)
+	deref int32        // node id of n(*x), or -1
+
+	relevant bool
+	// unloaded lists member symbols whose blocks are not yet loaded
+	// (demand mode); loading happens when the node becomes relevant.
+	unloaded []int32
+
+	cachePass int32
+	cache     []prim.SymID
+}
+
+// Solve runs the analysis over src.
+func Solve(src pts.Source, cfg Config) (*Result, error) {
+	if cfg.MaxPasses == 0 {
+		cfg.MaxPasses = 1 << 20
+	}
+	s := &Solver{
+		src:       src,
+		cfg:       cfg,
+		numSyms:   int32(src.NumSyms()),
+		recOfFunc: map[int32]int{},
+		interned:  map[uint64][][]prim.SymID{},
+	}
+	s.nodes = make([]node, s.numSyms)
+	for i := range s.nodes {
+		s.nodes[i].skip = -1
+		s.nodes[i].deref = -1
+	}
+	s.loadedBlk = make([]bool, s.numSyms)
+	for i := int32(0); i < s.numSyms; i++ {
+		if src.BlockLen(prim.SymID(i)) > 0 {
+			s.nodes[i].unloaded = append(s.nodes[i].unloaded, i)
+		}
+	}
+
+	// Function records.
+	s.recs = src.Funcs()
+	for ri := range s.recs {
+		fn := int32(s.recs[ri].Func)
+		sym := src.Sym(s.recs[ri].Func)
+		if sym.Kind == prim.SymFunc {
+			s.recOfFunc[fn] = ri
+		}
+		if sym.FuncPtr {
+			s.ptrRecs = append(s.ptrRecs, ri)
+		}
+	}
+
+	// Static section: base elements, always loaded.
+	statics, err := src.Statics()
+	if err != nil {
+		return nil, err
+	}
+	s.m.Loaded += len(statics)
+	for _, a := range statics {
+		s.addBase(int32(a.Dst), a.Src)
+	}
+
+	if !cfg.DemandLoad {
+		for i := int32(0); i < s.numSyms; i++ {
+			if err := s.loadBlock(i); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := s.drainLoads(); err != nil {
+		return nil, err
+	}
+
+	// The iteration algorithm (Figure 5).
+	for {
+		s.pass++
+		if int(s.pass) > cfg.MaxPasses {
+			return nil, fmt.Errorf("core: no convergence after %d passes", cfg.MaxPasses)
+		}
+		s.m.Passes++
+		s.changed = false
+		s.flushInterned()
+
+		for i := 0; i < len(s.complex); i++ {
+			ca := s.complex[i]
+			switch ca.kind {
+			case ckStore: // *x = y: add an edge n(z) → n(y) for each &z in lvals(x)
+				y := s.find(ca.y)
+				for _, z := range s.getLvalsNodes(ca.x) {
+					s.addEdge(z, y)
+				}
+			case ckLoad: // x = *y: edges n(x) → n(*y) and n(*y) → n(z)
+				dy := s.derefNode(ca.y)
+				s.addEdge(s.find(ca.x), dy)
+				for _, z := range s.getLvalsNodes(ca.y) {
+					s.addEdge(s.find(dy), z)
+				}
+			}
+			if err := s.drainLoads(); err != nil {
+				return nil, err
+			}
+		}
+
+		if err := s.funcPtrPass(); err != nil {
+			return nil, err
+		}
+		if err := s.drainLoads(); err != nil {
+			return nil, err
+		}
+
+		if !s.changed {
+			break
+		}
+	}
+
+	// Final pass id for result queries; nothing mutates after this.
+	s.pass++
+	s.flushInterned()
+	s.m.InCore = len(s.complex)
+	counts := src.Counts()
+	for _, c := range counts {
+		s.m.InFile += c
+	}
+	res := &Result{s: s}
+	res.fillMetrics()
+	return res, nil
+}
+
+// funcPtrPass links indirect calls: when a function g reaches the
+// points-to set of a marked function pointer f, add g$i = f$i and
+// f$ret = g$ret (Section 4).
+func (s *Solver) funcPtrPass() error {
+	for _, ri := range s.ptrRecs {
+		r := &s.recs[ri]
+		fpNode := s.find(int32(r.Func))
+		for _, lv := range s.getLvals(fpNode) {
+			gi, ok := s.recOfFunc[int32(lv)]
+			if !ok {
+				continue
+			}
+			g := &s.recs[gi]
+			n := len(r.Params)
+			if len(g.Params) < n {
+				n = len(g.Params)
+			}
+			for i := 0; i < n; i++ {
+				s.addEdge(s.find(int32(g.Params[i])), s.find(int32(r.Params[i])))
+			}
+			if r.Ret != prim.NoSym && g.Ret != prim.NoSym {
+				s.addEdge(s.find(int32(r.Ret)), s.find(int32(g.Ret)))
+			}
+		}
+	}
+	return nil
+}
+
+// Result exposes the solved points-to relation.
+type Result struct {
+	s *Solver
+}
+
+// PointsTo returns the objects sym may point to, sorted.
+func (r *Result) PointsTo(sym prim.SymID) []prim.SymID {
+	if int32(sym) < 0 || int32(sym) >= r.s.numSyms {
+		return nil
+	}
+	return r.s.getLvals(r.s.find(int32(sym)))
+}
+
+// Metrics returns solver statistics.
+func (r *Result) Metrics() pts.Metrics { return r.s.m }
+
+func (r *Result) fillMetrics() {
+	vars, rels := pts.SumRelations(r.s.src, r)
+	r.s.m.PointerVars = vars
+	r.s.m.Relations = rels
+}

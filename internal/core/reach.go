@@ -1,0 +1,309 @@
+package core
+
+import (
+	"cla/internal/prim"
+)
+
+// This file implements getLvals — the graph reachability computation at the
+// heart of the pre-transitive algorithm — in two variants:
+//
+//   - reachTarjan: an iterative Tarjan SCC traversal that computes lval
+//     sets bottom-up and unifies every cycle it encounters (cycle
+//     elimination is free during traversal, and complete on the traversed
+//     subgraph, as Section 5 argues).
+//   - reachPlain: a naive reachability walk used when cycle elimination is
+//     disabled (the ablation configuration).
+//
+// With caching enabled, computed sets are stored on nodes tagged with the
+// current pass; the outer fixpoint's nochange flag repairs staleness.
+
+// getLvals returns the set of lvals reachable from node n (Figure 5).
+func (s *Solver) getLvals(n int32) []prim.SymID {
+	n = s.find(n)
+	if s.cfg.Cache && s.nodes[n].cachePass == s.pass {
+		s.m.CacheHits++
+		return s.nodes[n].cache
+	}
+	s.m.CacheMisses++
+	if s.cfg.CycleElim {
+		return s.reachTarjan(n)
+	}
+	return s.reachPlain(n)
+}
+
+// getLvalsNodes returns the de-skipped nodes holding the lvals of n — the
+// getLvalsNodes() refinement from Section 5 used by the complex-assignment
+// rules. The returned slice is scratch owned by the solver and is only
+// valid until the next call.
+func (s *Solver) getLvalsNodes(n int32) []int32 {
+	lvals := s.getLvals(n)
+	s.ensureScratch()
+	s.nEpoch++
+	out := s.gnBuf[:0]
+	for _, lv := range lvals {
+		r := s.find(int32(lv))
+		if s.nSeen[r] != s.nEpoch {
+			s.nSeen[r] = s.nEpoch
+			out = append(out, r)
+		}
+	}
+	s.gnBuf = out
+	return out
+}
+
+// ensureScratch sizes the traversal arrays for the current node count.
+func (s *Solver) ensureScratch() {
+	n := len(s.nodes)
+	if len(s.tVisit) >= n {
+		return
+	}
+	grow := make([]int32, n*2)
+	copy(grow, s.tVisit)
+	s.tVisit = grow
+	g2 := make([]int32, n*2)
+	copy(g2, s.tIndex)
+	s.tIndex = g2
+	g3 := make([]int32, n*2)
+	copy(g3, s.tLow)
+	s.tLow = g3
+	g4 := make([]bool, n*2)
+	copy(g4, s.tOnStack)
+	s.tOnStack = g4
+	if s.tVal == nil || len(s.tVal) < n*2 {
+		g5 := make([][]prim.SymID, n*2)
+		copy(g5, s.tVal)
+		s.tVal = g5
+	}
+	g6 := make([]bool, n*2)
+	copy(g6, s.tDone)
+	s.tDone = g6
+	g7 := make([]int32, n*2)
+	copy(g7, s.nSeen)
+	s.nSeen = g7
+}
+
+type tframe struct {
+	v  int32
+	ei int
+}
+
+// reachTarjan computes lvals(root) by a bottom-up SCC traversal, unifying
+// cycles as they are found. Every node completed during the traversal gets
+// its final set for this pass (cached when caching is on), so subsequent
+// getLvals calls in the same pass are O(1) for the whole visited region.
+func (s *Solver) reachTarjan(root int32) []prim.SymID {
+	s.ensureScratch()
+	s.tEpoch++
+	epoch := s.tEpoch
+
+	var frames []tframe
+	var sccStack []int32
+	order := int32(1)
+
+	// completedVal returns the final set for a node finished either in
+	// this traversal or in an earlier traversal of the same pass (cache).
+	completedVal := func(w int32) ([]prim.SymID, bool) {
+		if s.tVisit[w] == epoch && s.tDone[w] {
+			return s.tVal[w], true
+		}
+		if s.cfg.Cache && s.nodes[w].cachePass == s.pass {
+			return s.nodes[w].cache, true
+		}
+		return nil, false
+	}
+
+	push := func(v int32) {
+		s.tVisit[v] = epoch
+		s.tDone[v] = false
+		s.tIndex[v] = order
+		s.tLow[v] = order
+		order++
+		s.tOnStack[v] = true
+		sccStack = append(sccStack, v)
+		frames = append(frames, tframe{v: v})
+	}
+
+	root = s.find(root)
+	if val, ok := completedVal(root); ok {
+		return val
+	}
+	push(root)
+
+	for len(frames) > 0 {
+		f := &frames[len(frames)-1]
+		v := f.v
+		advanced := false
+		for f.ei < len(s.nodes[v].edges) {
+			w := s.find(s.nodes[v].edges[f.ei])
+			f.ei++
+			if w == v {
+				continue
+			}
+			if s.tVisit[w] != epoch {
+				if _, ok := completedVal(w); ok {
+					// Cached from an earlier traversal this pass: leaf.
+					s.tVisit[w] = epoch
+					s.tDone[w] = true
+					s.tVal[w] = s.nodes[w].cache
+					s.tOnStack[w] = false
+					continue
+				}
+				push(w)
+				advanced = true
+				break
+			}
+			if s.tOnStack[w] && s.tIndex[w] < s.tLow[v] {
+				s.tLow[v] = s.tIndex[w]
+			}
+		}
+		if advanced {
+			continue
+		}
+		frames = frames[:len(frames)-1]
+		if len(frames) > 0 {
+			p := frames[len(frames)-1].v
+			if s.tLow[v] < s.tLow[p] {
+				s.tLow[p] = s.tLow[v]
+			}
+		}
+		if s.tLow[v] != s.tIndex[v] {
+			continue
+		}
+		// v is an SCC root: pop members.
+		var members []int32
+		for {
+			m := sccStack[len(sccStack)-1]
+			sccStack = sccStack[:len(sccStack)-1]
+			s.tOnStack[m] = false
+			members = append(members, m)
+			if m == v {
+				break
+			}
+		}
+		// Union base elements and external children's final sets. SCC
+		// membership is tagged through the epoch scratch (cheaper than a
+		// per-SCC map).
+		var acc []prim.SymID
+		s.nEpoch++
+		for _, m := range members {
+			acc = mergeSorted(acc, s.nodes[m].base)
+			s.nSeen[m] = s.nEpoch
+		}
+		for _, m := range members {
+			for _, e := range s.nodes[m].edges {
+				w := s.find(e)
+				if s.nSeen[w] == s.nEpoch {
+					continue
+				}
+				if val, ok := completedVal(w); ok {
+					acc = mergeSorted(acc, val)
+				}
+			}
+		}
+		acc = s.internSet(acc)
+
+		rep := v
+		if s.cfg.CycleElim && len(members) > 1 {
+			for _, m := range members[:len(members)-1] {
+				rep = s.unify(rep, m)
+			}
+			rep = s.find(rep)
+		}
+		for _, m := range members {
+			if s.find(m) != rep && !s.cfg.CycleElim {
+				// Without unification each member keeps its own value.
+				s.tVisit[m] = epoch
+				s.tDone[m] = true
+				s.tVal[m] = acc
+			}
+		}
+		s.tVisit[rep] = epoch
+		s.tDone[rep] = true
+		s.tVal[rep] = acc
+		if s.cfg.Cache {
+			s.nodes[rep].cache = acc
+			s.nodes[rep].cachePass = s.pass
+		}
+	}
+
+	r := s.find(root)
+	if s.tVisit[r] == epoch && s.tDone[r] {
+		return s.tVal[r]
+	}
+	return nil
+}
+
+// reachPlain computes lvals(root) by naive reachability: the union of base
+// elements over every node reachable from root. Used when cycle
+// elimination is off; with caching on, only the queried root's result is
+// stored (intermediate values are unsafe to cache in the presence of
+// cycles without SCC information).
+func (s *Solver) reachPlain(root int32) []prim.SymID {
+	s.ensureScratch()
+	s.tEpoch++
+	epoch := s.tEpoch
+	root = s.find(root)
+
+	stack := []int32{root}
+	s.tVisit[root] = epoch
+	var acc []prim.SymID
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if s.cfg.Cache && s.nodes[v].cachePass == s.pass && v != root {
+			acc = mergeSorted(acc, s.nodes[v].cache)
+			continue
+		}
+		acc = mergeSorted(acc, s.nodes[v].base)
+		for _, e := range s.nodes[v].edges {
+			w := s.find(e)
+			if s.tVisit[w] != epoch {
+				s.tVisit[w] = epoch
+				stack = append(stack, w)
+			}
+		}
+	}
+	acc = s.internSet(acc)
+	if s.cfg.Cache {
+		s.nodes[root].cache = acc
+		s.nodes[root].cachePass = s.pass
+	}
+	return acc
+}
+
+// internSet shares identical lval sets through a per-pass hash table (the
+// paper's third optimization: "many lval sets are identical"). FNV-1a over
+// the elements keeps hashing allocation-free.
+func (s *Solver) internSet(set []prim.SymID) []prim.SymID {
+	if len(set) == 0 {
+		return nil
+	}
+	key := uint64(1469598103934665603)
+	for _, v := range set {
+		key = (key ^ uint64(uint32(v))) * 1099511628211
+	}
+	for _, cand := range s.interned[key] {
+		if equalSets(cand, set) {
+			return cand
+		}
+	}
+	s.interned[key] = append(s.interned[key], set)
+	return set
+}
+
+// flushInterned clears the sharing table (done at each pass boundary).
+func (s *Solver) flushInterned() {
+	s.interned = map[uint64][][]prim.SymID{}
+}
+
+func equalSets(a, b []prim.SymID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,281 @@
+package cpp
+
+import (
+	"strconv"
+	"strings"
+)
+
+// condEval is a precedence-climbing evaluator for #if constant expressions.
+// Arithmetic follows C semantics on int64 with C-like truthiness.
+type condEval struct {
+	toks []token
+	pos  int
+	file string
+	line int
+	p    *Preprocessor
+}
+
+func (e *condEval) peek() (token, bool) {
+	if e.pos < len(e.toks) {
+		return e.toks[e.pos], true
+	}
+	return token{}, false
+}
+
+func (e *condEval) next() (token, bool) {
+	t, ok := e.peek()
+	if ok {
+		e.pos++
+	}
+	return t, ok
+}
+
+func (e *condEval) err(format string, args ...any) error {
+	return e.p.errf(e.file, e.line, format, args...)
+}
+
+// binary operator precedence; higher binds tighter.
+var condPrec = map[string]int{
+	"||": 1, "&&": 2, "|": 3, "^": 4, "&": 5,
+	"==": 6, "!=": 6,
+	"<": 7, ">": 7, "<=": 7, ">=": 7,
+	"<<": 8, ">>": 8,
+	"+": 9, "-": 9,
+	"*": 10, "/": 10, "%": 10,
+}
+
+// parseExpr parses an expression with operators of at least minPrec,
+// including the ?: ternary at the outermost level.
+func (e *condEval) parseExpr(minPrec int) (int64, error) {
+	lhs, err := e.parseUnary()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		t, ok := e.peek()
+		if !ok || t.kind != tokPunct {
+			break
+		}
+		if t.text == "?" && minPrec == 0 {
+			e.pos++
+			thenV, err := e.parseExpr(0)
+			if err != nil {
+				return 0, err
+			}
+			colon, ok := e.next()
+			if !ok || colon.text != ":" {
+				return 0, e.err("expected ':' in ?:")
+			}
+			elseV, err := e.parseExpr(0)
+			if err != nil {
+				return 0, err
+			}
+			if lhs != 0 {
+				lhs = thenV
+			} else {
+				lhs = elseV
+			}
+			continue
+		}
+		prec, isOp := condPrec[t.text]
+		if !isOp || prec < minPrec {
+			break
+		}
+		e.pos++
+		rhs, err := e.parseUnaryThenHigher(prec + 1)
+		if err != nil {
+			return 0, err
+		}
+		lhs, err = applyBinop(t.text, lhs, rhs, e)
+		if err != nil {
+			return 0, err
+		}
+	}
+	return lhs, nil
+}
+
+func (e *condEval) parseUnaryThenHigher(minPrec int) (int64, error) {
+	lhs, err := e.parseUnary()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		t, ok := e.peek()
+		if !ok || t.kind != tokPunct {
+			break
+		}
+		prec, isOp := condPrec[t.text]
+		if !isOp || prec < minPrec {
+			break
+		}
+		e.pos++
+		rhs, err := e.parseUnaryThenHigher(prec + 1)
+		if err != nil {
+			return 0, err
+		}
+		lhs, err = applyBinop(t.text, lhs, rhs, e)
+		if err != nil {
+			return 0, err
+		}
+	}
+	return lhs, nil
+}
+
+func applyBinop(op string, a, b int64, e *condEval) (int64, error) {
+	boolv := func(v bool) int64 {
+		if v {
+			return 1
+		}
+		return 0
+	}
+	switch op {
+	case "||":
+		return boolv(a != 0 || b != 0), nil
+	case "&&":
+		return boolv(a != 0 && b != 0), nil
+	case "|":
+		return a | b, nil
+	case "^":
+		return a ^ b, nil
+	case "&":
+		return a & b, nil
+	case "==":
+		return boolv(a == b), nil
+	case "!=":
+		return boolv(a != b), nil
+	case "<":
+		return boolv(a < b), nil
+	case ">":
+		return boolv(a > b), nil
+	case "<=":
+		return boolv(a <= b), nil
+	case ">=":
+		return boolv(a >= b), nil
+	case "<<":
+		if b < 0 || b >= 64 {
+			return 0, nil
+		}
+		return a << uint(b), nil
+	case ">>":
+		if b < 0 || b >= 64 {
+			return 0, nil
+		}
+		return a >> uint(b), nil
+	case "+":
+		return a + b, nil
+	case "-":
+		return a - b, nil
+	case "*":
+		return a * b, nil
+	case "/":
+		if b == 0 {
+			return 0, e.err("division by zero in #if")
+		}
+		return a / b, nil
+	case "%":
+		if b == 0 {
+			return 0, e.err("division by zero in #if")
+		}
+		return a % b, nil
+	}
+	return 0, e.err("unknown operator %q", op)
+}
+
+func (e *condEval) parseUnary() (int64, error) {
+	t, ok := e.next()
+	if !ok {
+		return 0, e.err("unexpected end of #if expression")
+	}
+	switch {
+	case t.kind == tokPunct && t.text == "!":
+		v, err := e.parseUnary()
+		if err != nil {
+			return 0, err
+		}
+		if v == 0 {
+			return 1, nil
+		}
+		return 0, nil
+	case t.kind == tokPunct && t.text == "-":
+		v, err := e.parseUnary()
+		return -v, err
+	case t.kind == tokPunct && t.text == "+":
+		return e.parseUnary()
+	case t.kind == tokPunct && t.text == "~":
+		v, err := e.parseUnary()
+		return ^v, err
+	case t.kind == tokPunct && t.text == "(":
+		v, err := e.parseExpr(0)
+		if err != nil {
+			return 0, err
+		}
+		close, ok := e.next()
+		if !ok || close.text != ")" {
+			return 0, e.err("missing ')' in #if expression")
+		}
+		return v, nil
+	case t.kind == tokNumber:
+		return parseCInt(t.text, e)
+	case t.kind == tokString && strings.HasPrefix(t.text, "'"):
+		return charValue(t.text), nil
+	}
+	return 0, e.err("unexpected token %q in #if expression", t.text)
+}
+
+// parseCInt parses a C integer literal, stripping U/L suffixes.
+func parseCInt(s string, e *condEval) (int64, error) {
+	s = strings.TrimRight(s, "uUlL")
+	var v uint64
+	var err error
+	switch {
+	case strings.HasPrefix(s, "0x"), strings.HasPrefix(s, "0X"):
+		v, err = strconv.ParseUint(s[2:], 16, 64)
+	case len(s) > 1 && s[0] == '0':
+		v, err = strconv.ParseUint(s[1:], 8, 64)
+	default:
+		v, err = strconv.ParseUint(s, 10, 64)
+	}
+	if err != nil {
+		return 0, e.err("bad integer %q in #if expression", s)
+	}
+	return int64(v), nil
+}
+
+// charValue evaluates a character constant like 'a' or '\n'.
+func charValue(s string) int64 {
+	s = strings.TrimPrefix(s, "'")
+	s = strings.TrimSuffix(s, "'")
+	if s == "" {
+		return 0
+	}
+	if s[0] != '\\' {
+		return int64(s[0])
+	}
+	if len(s) < 2 {
+		return '\\'
+	}
+	switch s[1] {
+	case 'n':
+		return '\n'
+	case 't':
+		return '\t'
+	case 'r':
+		return '\r'
+	case '0':
+		if len(s) > 2 {
+			if v, err := strconv.ParseInt(s[1:], 8, 64); err == nil {
+				return v
+			}
+		}
+		return 0
+	case '\\':
+		return '\\'
+	case '\'':
+		return '\''
+	case 'x':
+		if v, err := strconv.ParseInt(s[2:], 16, 64); err == nil {
+			return v
+		}
+	}
+	return int64(s[1])
+}

@@ -1,0 +1,7 @@
+package cpp
+
+import "os"
+
+func osWriteFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

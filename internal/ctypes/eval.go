@@ -1,0 +1,199 @@
+package ctypes
+
+import (
+	"strconv"
+	"strings"
+
+	"cla/internal/cc"
+)
+
+// evalConst evaluates an integer constant expression best-effort; the
+// second result reports success. Enum constants resolve through the
+// current scope.
+func (c *checker) evalConst(e cc.Expr) (int64, bool) {
+	switch v := e.(type) {
+	case *cc.IntExpr:
+		return parseIntLit(v.Text)
+	case *cc.CharExpr:
+		return charLit(v.Text), true
+	case *cc.IdentExpr:
+		if o := c.lookup(v.Name); o != nil && o.Kind == ObjEnumConst {
+			return o.EnumVal, true
+		}
+		return 0, false
+	case *cc.UnaryExpr:
+		x, ok := c.evalConst(v.X)
+		if !ok {
+			return 0, false
+		}
+		switch v.Op {
+		case "-":
+			return -x, true
+		case "+":
+			return x, true
+		case "~":
+			return ^x, true
+		case "!":
+			if x == 0 {
+				return 1, true
+			}
+			return 0, true
+		}
+		return 0, false
+	case *cc.BinaryExpr:
+		x, ok1 := c.evalConst(v.X)
+		y, ok2 := c.evalConst(v.Y)
+		if !ok1 || !ok2 {
+			return 0, false
+		}
+		return applyConstBinop(v.Op, x, y)
+	case *cc.CondExpr:
+		cv, ok := c.evalConst(v.Cond)
+		if !ok {
+			return 0, false
+		}
+		if cv != 0 {
+			return c.evalConst(v.Then)
+		}
+		return c.evalConst(v.Else)
+	case *cc.CastExpr:
+		return c.evalConst(v.X)
+	case *cc.SizeofExpr:
+		if v.Type != nil {
+			return int64(Sizeof(c.typeName(v.Type))), true
+		}
+		t := c.expr(v.X)
+		return int64(Sizeof(t)), true
+	}
+	return 0, false
+}
+
+func applyConstBinop(op string, x, y int64) (int64, bool) {
+	b := func(v bool) int64 {
+		if v {
+			return 1
+		}
+		return 0
+	}
+	switch op {
+	case "+":
+		return x + y, true
+	case "-":
+		return x - y, true
+	case "*":
+		return x * y, true
+	case "/":
+		if y == 0 {
+			return 0, false
+		}
+		return x / y, true
+	case "%":
+		if y == 0 {
+			return 0, false
+		}
+		return x % y, true
+	case "<<":
+		if y < 0 || y >= 64 {
+			return 0, false
+		}
+		return x << uint(y), true
+	case ">>":
+		if y < 0 || y >= 64 {
+			return 0, false
+		}
+		return x >> uint(y), true
+	case "&":
+		return x & y, true
+	case "|":
+		return x | y, true
+	case "^":
+		return x ^ y, true
+	case "==":
+		return b(x == y), true
+	case "!=":
+		return b(x != y), true
+	case "<":
+		return b(x < y), true
+	case ">":
+		return b(x > y), true
+	case "<=":
+		return b(x <= y), true
+	case ">=":
+		return b(x >= y), true
+	case "&&":
+		return b(x != 0 && y != 0), true
+	case "||":
+		return b(x != 0 || y != 0), true
+	}
+	return 0, false
+}
+
+// parseIntLit parses a C integer literal with optional suffixes.
+func parseIntLit(s string) (int64, bool) {
+	s = strings.TrimRight(s, "uUlL")
+	if s == "" {
+		return 0, false
+	}
+	var v uint64
+	var err error
+	switch {
+	case strings.HasPrefix(s, "0x"), strings.HasPrefix(s, "0X"):
+		v, err = strconv.ParseUint(s[2:], 16, 64)
+	case len(s) > 1 && s[0] == '0':
+		v, err = strconv.ParseUint(s[1:], 8, 64)
+	default:
+		v, err = strconv.ParseUint(s, 10, 64)
+	}
+	if err != nil {
+		return 0, false
+	}
+	return int64(v), true
+}
+
+// charLit evaluates a character constant token (including quotes).
+func charLit(s string) int64 {
+	s = strings.TrimPrefix(s, "L")
+	s = strings.TrimPrefix(s, "'")
+	s = strings.TrimSuffix(s, "'")
+	if s == "" {
+		return 0
+	}
+	if s[0] != '\\' {
+		return int64(s[0])
+	}
+	if len(s) < 2 {
+		return '\\'
+	}
+	switch s[1] {
+	case 'n':
+		return '\n'
+	case 't':
+		return '\t'
+	case 'r':
+		return '\r'
+	case 'b':
+		return '\b'
+	case 'f':
+		return '\f'
+	case 'v':
+		return '\v'
+	case 'a':
+		return 7
+	case '\\':
+		return '\\'
+	case '\'':
+		return '\''
+	case '"':
+		return '"'
+	case '0', '1', '2', '3', '4', '5', '6', '7':
+		if v, err := strconv.ParseInt(s[1:], 8, 64); err == nil {
+			return v
+		}
+		return 0
+	case 'x':
+		if v, err := strconv.ParseInt(s[2:], 16, 64); err == nil {
+			return v
+		}
+	}
+	return int64(s[1])
+}

@@ -1,0 +1,203 @@
+package driver
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"cla/internal/cpp"
+	"cla/internal/frontend"
+	"cla/internal/linker"
+	"cla/internal/objfile"
+	"cla/internal/prim"
+)
+
+// This file implements the two build-system properties the paper calls out
+// for the CLA architecture: parallel compilation of translation units, and
+// incremental recompilation ("we can avoid re-parsing of the entire code
+// base if one source file changes") using a content-addressed object
+// cache.
+
+// CompileUnitsParallel compiles the units concurrently (bounded by
+// GOMAXPROCS) and links the results in input order, so the output is
+// deterministic regardless of scheduling.
+func CompileUnitsParallel(units []string, loader cpp.Loader, opts frontend.Options) (*prim.Program, error) {
+	progs := make([]*prim.Program, len(units))
+	errs := make([]error, len(units))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, u := range units {
+		wg.Add(1)
+		go func(i int, u string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			progs[i], errs[i] = frontend.CompileFile(u, loader, opts)
+		}(i, u)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("driver: %s: %w", units[i], err)
+		}
+	}
+	return linker.Link(progs)
+}
+
+// Cache is a content-addressed store of compiled unit databases. The key
+// covers the preprocessed-input-relevant bytes (the unit source and every
+// file it can include via the loader is approximated by hashing the unit
+// source plus the include closure actually read) and the compile options.
+type Cache struct {
+	Dir string
+	// Hits and Misses count cache behaviour, for tests and tooling.
+	Hits, Misses int
+	mu           sync.Mutex
+}
+
+// NewCache creates (if needed) and opens a cache directory.
+func NewCache(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Cache{Dir: dir}, nil
+}
+
+// trackingLoader records every file content read through it, so the cache
+// key covers headers as well as the unit source.
+type trackingLoader struct {
+	inner cpp.Loader
+	mu    sync.Mutex
+	reads map[string]string
+}
+
+func (l *trackingLoader) Load(name string) (string, string, error) {
+	content, path, err := l.inner.Load(name)
+	if err == nil {
+		l.mu.Lock()
+		l.reads[path] = content
+		l.mu.Unlock()
+	}
+	return content, path, err
+}
+
+// optsFingerprint folds the semantically relevant options into the key.
+func optsFingerprint(opts frontend.Options) string {
+	keys := make([]string, 0, len(opts.Defines))
+	for k, v := range opts.Defines {
+		keys = append(keys, k+"="+v)
+	}
+	sort.Strings(keys)
+	return fmt.Sprintf("mode=%d;strings=%v;defines=%v", opts.Mode, opts.ModelStrings, keys)
+}
+
+// entryBase returns the cache file base name for (unit, opts).
+func (c *Cache) entryBase(unit string, opts frontend.Options) string {
+	h := sha256.Sum256([]byte("unit:" + unit + ";opts:" + optsFingerprint(opts)))
+	return hex.EncodeToString(h[:16])
+}
+
+// hashContent fingerprints one input file's contents.
+func hashContent(content string) string {
+	h := sha256.Sum256([]byte(content))
+	return hex.EncodeToString(h[:12])
+}
+
+// CompileUnit compiles one unit through the cache. A cached entry is valid
+// when every input file recorded in its manifest (the unit source and the
+// whole include closure it read) still has the same content hash; then
+// the stored database is loaded without parsing anything. Otherwise the
+// unit is recompiled and the entry rewritten.
+func (c *Cache) CompileUnit(unit string, loader cpp.Loader, opts frontend.Options) (*prim.Program, error) {
+	base := c.entryBase(unit, opts)
+	manifestPath := filepath.Join(c.Dir, base+".manifest")
+	objPath := filepath.Join(c.Dir, base+".clo")
+
+	if mb, err := os.ReadFile(manifestPath); err == nil {
+		valid := true
+		for _, line := range strings.Split(strings.TrimSpace(string(mb)), "\n") {
+			name, want, found := strings.Cut(line, "\t")
+			if !found {
+				valid = false
+				break
+			}
+			content, _, err := loader.Load(name)
+			if err != nil || hashContent(content) != want {
+				valid = false
+				break
+			}
+		}
+		if valid {
+			if r, err := objfile.Open(objPath); err == nil {
+				cached, err := r.Program()
+				r.Close()
+				if err == nil {
+					c.mu.Lock()
+					c.Hits++
+					c.mu.Unlock()
+					return cached, nil
+				}
+			}
+		}
+	}
+
+	c.mu.Lock()
+	c.Misses++
+	c.mu.Unlock()
+	tl := &trackingLoader{inner: loader, reads: map[string]string{}}
+	content, path, err := tl.Load(unit)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := frontend.CompileSource(path, content, tl, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := objfile.WriteFile(objPath, prog); err != nil {
+		return nil, err
+	}
+	files := make([]string, 0, len(tl.reads))
+	for f := range tl.reads {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	var mb strings.Builder
+	for _, f := range files {
+		fmt.Fprintf(&mb, "%s\t%s\n", f, hashContent(tl.reads[f]))
+	}
+	if err := os.WriteFile(manifestPath, []byte(mb.String()), 0o644); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// CompileUnitsCached compiles units through the cache (in parallel) and
+// links them.
+func (c *Cache) CompileUnitsCached(units []string, loader cpp.Loader, opts frontend.Options) (*prim.Program, error) {
+	progs := make([]*prim.Program, len(units))
+	errs := make([]error, len(units))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, u := range units {
+		wg.Add(1)
+		go func(i int, u string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			progs[i], errs[i] = c.CompileUnit(u, loader, opts)
+		}(i, u)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("driver: %s: %w", units[i], err)
+		}
+	}
+	return linker.Link(progs)
+}

@@ -1,0 +1,187 @@
+package driver
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+
+	"cla/internal/core"
+	"cla/internal/cpp"
+	"cla/internal/frontend"
+	"cla/internal/gen"
+	"cla/internal/prim"
+	"cla/internal/pts"
+)
+
+func TestParallelCompileMatchesSerial(t *testing.T) {
+	p, _ := gen.ProfileByName("burlap")
+	code := gen.Generate(p.Scale(0.03), 2)
+	serial, err := CompileUnits(code.Units(), code.Loader(), frontend.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := CompileUnitsParallel(code.Units(), code.Loader(), frontend.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial.Assigns) != len(parallel.Assigns) || len(serial.Syms) != len(parallel.Syms) {
+		t.Fatalf("shape differs: %d/%d vs %d/%d assigns/syms",
+			len(serial.Assigns), len(serial.Syms), len(parallel.Assigns), len(parallel.Syms))
+	}
+	// Deterministic: linking order is input order, so results are equal.
+	if !reflect.DeepEqual(symNameList(serial), symNameList(parallel)) {
+		t.Error("symbol tables differ between serial and parallel compiles")
+	}
+	// Analysis results agree.
+	rs, err := core.Solve(pts.NewMemSource(serial), core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := core.Solve(pts.NewMemSource(parallel), core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Metrics().Relations != rp.Metrics().Relations {
+		t.Errorf("relations differ: %d vs %d", rs.Metrics().Relations, rp.Metrics().Relations)
+	}
+}
+
+func symNameList(p *prim.Program) []string {
+	out := make([]string, len(p.Syms))
+	for i := range p.Syms {
+		out[i] = p.Syms[i].Name
+	}
+	return out
+}
+
+func TestCacheHitsAndInvalidation(t *testing.T) {
+	dir := t.TempDir()
+	src := t.TempDir()
+	write := func(name, content string) {
+		if err := os.WriteFile(filepath.Join(src, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("defs.h", "#ifndef H\n#define H\nextern int g;\n#endif\n")
+	write("a.c", "#include \"defs.h\"\nint g; int *p;\nvoid f(void) { p = &g; }\n")
+	write("b.c", "#include \"defs.h\"\nint x;\nvoid h(void) { x = g; }\n")
+	loader := cpp.OSLoader{Dirs: []string{src}}
+	units := []string{filepath.Join(src, "a.c"), filepath.Join(src, "b.c")}
+
+	cache, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := cache.CompileUnitsCached(units, loader, frontend.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache.Hits != 0 || cache.Misses != 2 {
+		t.Errorf("cold: hits=%d misses=%d", cache.Hits, cache.Misses)
+	}
+
+	// Warm: everything from cache, result identical.
+	p2, err := cache.CompileUnitsCached(units, loader, frontend.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache.Hits != 2 || cache.Misses != 2 {
+		t.Errorf("warm: hits=%d misses=%d", cache.Hits, cache.Misses)
+	}
+	if len(p1.Assigns) != len(p2.Assigns) {
+		t.Errorf("cached result differs: %d vs %d assigns", len(p1.Assigns), len(p2.Assigns))
+	}
+
+	// Edit one unit: only it recompiles.
+	write("b.c", "#include \"defs.h\"\nint x, y;\nvoid h(void) { x = g; y = x; }\n")
+	p3, err := cache.CompileUnitsCached(units, loader, frontend.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache.Hits != 3 || cache.Misses != 3 {
+		t.Errorf("after edit: hits=%d misses=%d", cache.Hits, cache.Misses)
+	}
+	if len(p3.Assigns) != len(p1.Assigns)+1 {
+		t.Errorf("edited program shape: %d vs %d+1", len(p3.Assigns), len(p1.Assigns))
+	}
+
+	// Edit the shared header: both units recompile.
+	write("defs.h", "#ifndef H\n#define H\nextern int g;\nextern int extra;\n#endif\n")
+	if _, err := cache.CompileUnitsCached(units, loader, frontend.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if cache.Misses != 5 {
+		t.Errorf("header edit: misses=%d, want 5", cache.Misses)
+	}
+}
+
+func TestCacheKeyIncludesOptions(t *testing.T) {
+	dir := t.TempDir()
+	src := t.TempDir()
+	path := filepath.Join(src, "s.c")
+	os.WriteFile(path, []byte("struct S { int f; } s; int x;\nvoid m(void) { s.f = x; }\n"), 0o644)
+	loader := cpp.OSLoader{Dirs: []string{src}}
+	cache, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := cache.CompileUnit(path, loader, frontend.Options{Mode: frontend.FieldBased})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi, err := cache.CompileUnit(path, loader, frontend.Options{Mode: frontend.FieldIndependent})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache.Hits != 0 || cache.Misses != 2 {
+		t.Errorf("modes shared a cache entry: hits=%d misses=%d", cache.Hits, cache.Misses)
+	}
+	// Different modes produce different destination naming.
+	var fbNames, fiNames []string
+	for i := range fb.Syms {
+		fbNames = append(fbNames, fb.Syms[i].Name)
+	}
+	for i := range fi.Syms {
+		fiNames = append(fiNames, fi.Syms[i].Name)
+	}
+	sort.Strings(fbNames)
+	sort.Strings(fiNames)
+	if reflect.DeepEqual(fbNames, fiNames) {
+		t.Error("field modes produced identical symbol tables")
+	}
+}
+
+func TestCacheCorruptEntryRecovers(t *testing.T) {
+	dir := t.TempDir()
+	src := t.TempDir()
+	path := filepath.Join(src, "c.c")
+	os.WriteFile(path, []byte("int v, *p;\nvoid m(void) { p = &v; }\n"), 0o644)
+	loader := cpp.OSLoader{Dirs: []string{src}}
+	cache, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cache.CompileUnit(path, loader, frontend.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	// Trash the stored object; the manifest still matches, so the loader
+	// must detect the corruption and recompile.
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == ".clo" {
+			os.WriteFile(filepath.Join(dir, e.Name()), []byte("garbage"), 0o644)
+		}
+	}
+	p, err := cache.CompileUnit(path, loader, frontend.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Assigns) != 1 {
+		t.Errorf("recovered program wrong: %d assigns", len(p.Assigns))
+	}
+	if cache.Misses != 2 {
+		t.Errorf("misses = %d, want 2", cache.Misses)
+	}
+}

@@ -1,0 +1,130 @@
+// Package driver orchestrates the CLA pipeline end to end — compile each
+// translation unit, link the databases, run an analysis — for the command
+// line tools, the examples and the benchmark harness.
+package driver
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"cla/internal/core"
+	"cla/internal/cpp"
+	"cla/internal/frontend"
+	"cla/internal/linker"
+	"cla/internal/prim"
+	"cla/internal/pts"
+	"cla/internal/pts/bitvec"
+	"cla/internal/pts/onelevel"
+	"cla/internal/pts/steens"
+	"cla/internal/pts/worklist"
+)
+
+// Solver selects a points-to algorithm.
+type Solver int
+
+// Available solvers.
+const (
+	// PreTransitive is the paper's algorithm (internal/core).
+	PreTransitive Solver = iota
+	// Worklist is the transitively-closed baseline.
+	Worklist
+	// Steensgaard is the unification baseline.
+	Steensgaard
+	// BitVector is Andersen's analysis with dense bit-vector sets.
+	BitVector
+	// OneLevel is Das's one-level flow hybrid: directional at the top
+	// level, unification below.
+	OneLevel
+)
+
+func (s Solver) String() string {
+	switch s {
+	case PreTransitive:
+		return "pre-transitive"
+	case Worklist:
+		return "worklist"
+	case Steensgaard:
+		return "steensgaard"
+	case BitVector:
+		return "bitvec"
+	case OneLevel:
+		return "one-level"
+	}
+	return fmt.Sprintf("Solver(%d)", int(s))
+}
+
+// ParseSolver maps a CLI name to a Solver.
+func ParseSolver(name string) (Solver, error) {
+	switch name {
+	case "pretrans", "pre-transitive", "core":
+		return PreTransitive, nil
+	case "worklist", "andersen-closed":
+		return Worklist, nil
+	case "steens", "steensgaard", "unify":
+		return Steensgaard, nil
+	case "bitvec", "bitvector":
+		return BitVector, nil
+	case "onelevel", "one-level", "das":
+		return OneLevel, nil
+	}
+	return 0, fmt.Errorf("unknown solver %q (want pretrans, worklist, steens, bitvec or onelevel)", name)
+}
+
+// CompileUnits compiles the named units through loader and links them.
+func CompileUnits(units []string, loader cpp.Loader, opts frontend.Options) (*prim.Program, error) {
+	var progs []*prim.Program
+	for _, u := range units {
+		p, err := frontend.CompileFile(u, loader, opts)
+		if err != nil {
+			return nil, err
+		}
+		progs = append(progs, p)
+	}
+	return linker.Link(progs)
+}
+
+// CompileDir compiles every .c file under dir (sorted) with dir on the
+// include path and links the results.
+func CompileDir(dir string, opts frontend.Options) (*prim.Program, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var units []string
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".c" {
+			units = append(units, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(units)
+	if len(units) == 0 {
+		return nil, fmt.Errorf("driver: no .c files in %s", dir)
+	}
+	loader := cpp.OSLoader{Dirs: []string{dir}}
+	return CompileUnits(units, loader, opts)
+}
+
+// Analyze runs the selected solver over src. cfg applies only to the
+// pre-transitive solver.
+func Analyze(src pts.Source, solver Solver, cfg core.Config) (pts.Result, error) {
+	switch solver {
+	case PreTransitive:
+		return core.Solve(src, cfg)
+	case Worklist:
+		return worklist.Solve(src)
+	case Steensgaard:
+		return steens.Solve(src)
+	case BitVector:
+		return bitvec.Solve(src)
+	case OneLevel:
+		return onelevel.Solve(src)
+	}
+	return nil, fmt.Errorf("driver: unknown solver %d", solver)
+}
+
+// AnalyzeProgram is a convenience over an in-memory program.
+func AnalyzeProgram(p *prim.Program, solver Solver, cfg core.Config) (pts.Result, error) {
+	return Analyze(pts.NewMemSource(p), solver, cfg)
+}

@@ -1,0 +1,105 @@
+package driver
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cla/internal/core"
+	"cla/internal/cpp"
+	"cla/internal/frontend"
+	"cla/internal/pts"
+)
+
+func TestCompileUnitsAndAnalyze(t *testing.T) {
+	files := cpp.MapLoader{
+		"a.c": "int g; int *p;\nvoid f(void) { p = &g; }\n",
+		"b.c": "extern int *p; int *q;\nvoid h(void) { q = p; }\n",
+	}
+	prog, err := CompileUnits([]string{"a.c", "b.c"}, files, frontend.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, solver := range []Solver{PreTransitive, Worklist, Steensgaard} {
+		res, err := Analyze(pts.NewMemSource(prog), solver, core.DefaultConfig())
+		if err != nil {
+			t.Fatalf("%v: %v", solver, err)
+		}
+		q := prog.SymIDByName("q")
+		if len(res.PointsTo(q)) == 0 {
+			t.Errorf("%v: pts(q) empty", solver)
+		}
+	}
+}
+
+func TestCompileDir(t *testing.T) {
+	dir := t.TempDir()
+	os.WriteFile(filepath.Join(dir, "x.c"), []byte("int v, *p;\nvoid f(void) { p = &v; }\n"), 0o644)
+	os.WriteFile(filepath.Join(dir, "y.c"), []byte("extern int *p; int *r;\nvoid g(void) { r = p; }\n"), 0o644)
+	os.WriteFile(filepath.Join(dir, "note.txt"), []byte("not C"), 0o644)
+	prog, err := CompileDir(dir, frontend.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := AnalyzeProgram(prog, PreTransitive, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := prog.SymIDByName("r")
+	set := res.PointsTo(r)
+	if len(set) != 1 || prog.Sym(set[0]).Name != "v" {
+		t.Errorf("pts(r) = %v", set)
+	}
+}
+
+func TestCompileDirEmpty(t *testing.T) {
+	if _, err := CompileDir(t.TempDir(), frontend.Options{}); err == nil {
+		t.Error("empty dir accepted")
+	}
+}
+
+func TestCompileDirMissing(t *testing.T) {
+	if _, err := CompileDir("/nonexistent-dir-cla", frontend.Options{}); err == nil {
+		t.Error("missing dir accepted")
+	}
+}
+
+func TestParseSolver(t *testing.T) {
+	cases := map[string]Solver{
+		"pretrans": PreTransitive, "pre-transitive": PreTransitive, "core": PreTransitive,
+		"worklist": Worklist, "andersen-closed": Worklist,
+		"steens": Steensgaard, "steensgaard": Steensgaard, "unify": Steensgaard,
+	}
+	for name, want := range cases {
+		got, err := ParseSolver(name)
+		if err != nil || got != want {
+			t.Errorf("ParseSolver(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ParseSolver("magic"); err == nil {
+		t.Error("unknown solver accepted")
+	}
+}
+
+func TestSolverString(t *testing.T) {
+	if PreTransitive.String() != "pre-transitive" || Worklist.String() != "worklist" ||
+		Steensgaard.String() != "steensgaard" {
+		t.Error("solver names wrong")
+	}
+}
+
+func TestAnalyzeUnknownSolver(t *testing.T) {
+	prog, err := CompileUnits([]string{"a.c"}, cpp.MapLoader{"a.c": "int x;"}, frontend.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Analyze(pts.NewMemSource(prog), Solver(99), core.DefaultConfig()); err == nil {
+		t.Error("unknown solver accepted")
+	}
+}
+
+func TestCompileUnitsBadFile(t *testing.T) {
+	if _, err := CompileUnits([]string{"missing.c"}, cpp.MapLoader{}, frontend.Options{}); err == nil {
+		t.Error("missing unit accepted")
+	}
+}

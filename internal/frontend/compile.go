@@ -1,0 +1,63 @@
+package frontend
+
+import (
+	"fmt"
+
+	"cla/internal/cc"
+	"cla/internal/cpp"
+	"cla/internal/ctypes"
+	"cla/internal/prim"
+)
+
+// CompileSource runs the full compile phase on one source text:
+// preprocess, parse, type-check, lower. loader resolves #include (nil
+// allows no includes). Parse errors abort; type diagnoses do not (legacy C
+// tolerance), matching the paper's robustness requirement.
+func CompileSource(name, src string, loader cpp.Loader, opts Options) (*prim.Program, error) {
+	if loader == nil {
+		loader = cpp.MapLoader{}
+	}
+	pp := cpp.New(loader)
+	for k, v := range opts.Defines {
+		pp.Define(k, v)
+	}
+	expanded, err := pp.Preprocess(name, src)
+	if err != nil {
+		return nil, fmt.Errorf("preprocess %s: %w", name, err)
+	}
+	unit, err := cc.Parse(name, expanded)
+	if err != nil {
+		return nil, fmt.Errorf("parse %s: %w", name, err)
+	}
+	ck := ctypes.Check(unit)
+	return Compile(ck, opts), nil
+}
+
+// CompileFile preprocesses and compiles the named file through loader.
+func CompileFile(name string, loader cpp.Loader, opts Options) (*prim.Program, error) {
+	content, path, err := loader.Load(name)
+	if err != nil {
+		return nil, err
+	}
+	return CompileSource(path, content, loader, opts)
+}
+
+// FormatAssign renders an assignment with symbol names, for tests, tools
+// and dependence-chain output.
+func FormatAssign(p *prim.Program, a prim.Assign) string {
+	dst := p.Sym(a.Dst).Name
+	src := p.Sym(a.Src).Name
+	switch a.Kind {
+	case prim.Simple:
+		return dst + " = " + src
+	case prim.Base:
+		return dst + " = &" + src
+	case prim.StoreInd:
+		return "*" + dst + " = " + src
+	case prim.LoadInd:
+		return dst + " = *" + src
+	case prim.CopyInd:
+		return "*" + dst + " = *" + src
+	}
+	return "?"
+}

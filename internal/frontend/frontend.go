@@ -1,0 +1,468 @@
+// Package frontend implements the CLA compile phase: it lowers a
+// type-checked translation unit into the database of primitive assignments
+// consumed by the link and analyze phases.
+//
+// Every C assignment, initializer, argument binding, return and function
+// definition is decomposed into the five primitive forms of internal/prim,
+// introducing temporaries only where an expression cannot otherwise be
+// expressed with at most one pointer operation. Structs are handled in
+// either the field-based mode of the paper (an access x.f maps to the
+// per-struct-type field variable S.f) or the field-independent mode (x.f
+// maps to the base object x). Arrays are index-independent. Each static
+// occurrence of a memory allocator is a fresh location, and string
+// constants are ignored unless modeling is enabled.
+package frontend
+
+import (
+	"fmt"
+
+	"cla/internal/cc"
+	"cla/internal/ctypes"
+	"cla/internal/prim"
+)
+
+// StructMode selects the treatment of struct/union fields.
+type StructMode uint8
+
+// Struct modes.
+const (
+	// FieldBased collects information per field of each struct type:
+	// an assignment to x.f is an assignment to "S.f" and the base object
+	// x is ignored. This is the paper's default.
+	FieldBased StructMode = iota
+	// FieldIndependent treats a struct variable as one unstructured
+	// memory chunk: an assignment to x.f is an assignment to x and the
+	// field component is ignored.
+	FieldIndependent
+)
+
+func (m StructMode) String() string {
+	if m == FieldIndependent {
+		return "field-independent"
+	}
+	return "field-based"
+}
+
+// Options configures the compile phase.
+type Options struct {
+	Mode StructMode
+	// ModelStrings gives each string literal occurrence a fresh object
+	// instead of ignoring constant strings (off by default, matching the
+	// paper's measurement setup).
+	ModelStrings bool
+	// Allocators names functions whose each static call site yields a
+	// fresh heap location. Nil means DefaultAllocators.
+	Allocators map[string]bool
+	// Defines are predefined object-like macros applied before
+	// preprocessing (CompileSource/CompileFile only).
+	Defines map[string]string
+}
+
+// DefaultAllocators is the standard allocation-primitive set.
+var DefaultAllocators = map[string]bool{
+	"malloc": true, "calloc": true, "realloc": true, "valloc": true,
+	"memalign": true, "strdup": true, "strndup": true,
+}
+
+// Compile lowers a checked unit into a primitive-assignment database.
+func Compile(ck *ctypes.Checked, opts Options) *prim.Program {
+	if opts.Allocators == nil {
+		opts.Allocators = DefaultAllocators
+	}
+	b := &builder{
+		ck:     ck,
+		opts:   opts,
+		prog:   &prim.Program{},
+		objSym: map[*ctypes.Object]prim.SymID{},
+		fldSym: map[fieldKey]prim.SymID{},
+		fnRec:  map[prim.SymID]int{},
+	}
+	for _, d := range ck.Unit.Decls {
+		switch v := d.(type) {
+		case *cc.Declaration:
+			b.topDeclaration(v)
+		case *cc.FuncDef:
+			b.funcDef(v)
+		}
+	}
+	return b.prog
+}
+
+type fieldKey struct {
+	info *ctypes.StructInfo
+	name string
+}
+
+type builder struct {
+	ck   *ctypes.Checked
+	opts Options
+	prog *prim.Program
+
+	objSym map[*ctypes.Object]prim.SymID
+	fldSym map[fieldKey]prim.SymID
+	// fnRec maps a function (or function-pointer) symbol to the index of
+	// its FuncRecord in prog.Funcs.
+	fnRec map[prim.SymID]int
+
+	curFunc     *ctypes.Object
+	curFuncName string
+	tempSeq     int
+	heapSeq     int
+	strSeq      int
+}
+
+func locOf(p cc.Pos) prim.Loc { return prim.Loc{File: p.File, Line: int32(p.Line)} }
+
+// symFor returns (creating on demand) the database symbol for an object.
+func (b *builder) symFor(o *ctypes.Object) prim.SymID {
+	if id, ok := b.objSym[o]; ok {
+		return id
+	}
+	s := prim.Symbol{
+		Name:     o.Name,
+		Type:     o.Type.String(),
+		Loc:      locOf(o.Pos),
+		FuncName: o.FuncName,
+	}
+	switch {
+	case o.Kind == ctypes.ObjFunc:
+		s.Kind = prim.SymFunc
+		s.Internal = o.Storage == cc.SCStatic
+	case o.Global && o.Storage == cc.SCStatic:
+		s.Kind = prim.SymStatic
+	case o.Global:
+		s.Kind = prim.SymGlobal
+	default:
+		s.Kind = prim.SymLocal
+	}
+	id := b.prog.AddSym(s)
+	b.objSym[o] = id
+	if o.Kind == ctypes.ObjFunc {
+		b.recordFor(id, o.Type)
+	}
+	return id
+}
+
+// fieldFor returns the field-based symbol for field name of struct info.
+func (b *builder) fieldFor(info *ctypes.StructInfo, f *ctypes.Field, pos cc.Pos) prim.SymID {
+	key := fieldKey{info, f.Name}
+	if id, ok := b.fldSym[key]; ok {
+		return id
+	}
+	s := prim.Symbol{
+		Name: info.Tag + "." + f.Name,
+		Kind: prim.SymField,
+		Type: f.Type.String(),
+		Loc:  locOf(pos),
+	}
+	id := b.prog.AddSym(s)
+	b.fldSym[key] = id
+	return id
+}
+
+// temp creates a fresh compiler temporary.
+func (b *builder) temp(pos cc.Pos) prim.SymID {
+	b.tempSeq++
+	return b.prog.AddSym(prim.Symbol{
+		Name:     fmt.Sprintf("tmp$%d", b.tempSeq),
+		Kind:     prim.SymTemp,
+		Loc:      locOf(pos),
+		FuncName: b.curFuncName,
+	})
+}
+
+// heapSym creates the fresh location for one allocator call site. The
+// sequence number keeps names unique when several allocation calls share a
+// source line.
+func (b *builder) heapSym(pos cc.Pos) prim.SymID {
+	b.heapSeq++
+	return b.prog.AddSym(prim.Symbol{
+		Name: fmt.Sprintf("heap@%s#%d", pos, b.heapSeq),
+		Kind: prim.SymHeap,
+		Loc:  locOf(pos),
+	})
+}
+
+// stringSym creates the object for one string literal occurrence.
+func (b *builder) stringSym(pos cc.Pos) prim.SymID {
+	b.strSeq++
+	return b.prog.AddSym(prim.Symbol{
+		Name: fmt.Sprintf("str@%s#%d", pos, b.strSeq),
+		Kind: prim.SymString,
+		Type: "char[]",
+		Loc:  locOf(pos),
+	})
+}
+
+// recordFor ensures a FuncRecord exists for fn, extending its parameter
+// list to cover t's parameters (or n params for unknown types), and
+// returns its index.
+func (b *builder) recordFor(fn prim.SymID, t *ctypes.Type) int {
+	idx, ok := b.fnRec[fn]
+	if !ok {
+		idx = len(b.prog.Funcs)
+		b.prog.Funcs = append(b.prog.Funcs, prim.FuncRecord{Func: fn, Ret: prim.NoSym})
+		b.fnRec[fn] = idx
+	}
+	rec := &b.prog.Funcs[idx]
+	ft := t.FuncType()
+	if ft != nil {
+		b.ensureParams(fn, len(ft.Params))
+		rec.Variadic = rec.Variadic || ft.Variadic
+		// Record parameter and return types on the standardized symbols
+		// so dependence chains print them.
+		for i, pt := range ft.Params {
+			if i < len(rec.Params) {
+				if s := b.prog.Sym(rec.Params[i]); s.Type == "" {
+					s.Type = pt.String()
+				}
+			}
+		}
+		if rec.Ret != prim.NoSym && ft.Elem != nil {
+			if s := b.prog.Sym(rec.Ret); s.Type == "" {
+				s.Type = ft.Elem.String()
+			}
+		}
+	}
+	return idx
+}
+
+// ensureParams extends fn's record to at least n parameter symbols.
+func (b *builder) ensureParams(fn prim.SymID, n int) {
+	idx := b.fnRec[fn]
+	rec := &b.prog.Funcs[idx]
+	base := b.prog.Sym(fn)
+	for len(rec.Params) < n {
+		i := len(rec.Params) + 1
+		s := prim.Symbol{
+			Name:     fmt.Sprintf("%s$%d", base.Name, i),
+			Kind:     prim.SymParam,
+			Internal: base.Internal || !base.Kind.Linked(),
+			FuncName: base.Name,
+			Loc:      base.Loc,
+		}
+		rec.Params = append(rec.Params, b.prog.AddSym(s))
+	}
+}
+
+// retFor returns (creating on demand) fn's standardized return symbol.
+func (b *builder) retFor(fn prim.SymID) prim.SymID {
+	idx := b.recordForExisting(fn)
+	rec := &b.prog.Funcs[idx]
+	if rec.Ret == prim.NoSym {
+		base := b.prog.Sym(fn)
+		s := prim.Symbol{
+			Name:     base.Name + "$ret",
+			Kind:     prim.SymRet,
+			Internal: base.Internal || !base.Kind.Linked(),
+			FuncName: base.Name,
+			Loc:      base.Loc,
+		}
+		rec.Ret = b.prog.AddSym(s)
+	}
+	return rec.Ret
+}
+
+func (b *builder) recordForExisting(fn prim.SymID) int {
+	if idx, ok := b.fnRec[fn]; ok {
+		return idx
+	}
+	idx := len(b.prog.Funcs)
+	b.prog.Funcs = append(b.prog.Funcs, prim.FuncRecord{Func: fn, Ret: prim.NoSym})
+	b.fnRec[fn] = idx
+	return idx
+}
+
+// paramSym returns fn's i-th (0-based) standardized parameter symbol.
+func (b *builder) paramSym(fn prim.SymID, i int) prim.SymID {
+	b.recordForExisting(fn)
+	b.ensureParams(fn, i+1)
+	return b.prog.Funcs[b.fnRec[fn]].Params[i]
+}
+
+// markFuncPtr flags sym as an indirect-call target pointer.
+func (b *builder) markFuncPtr(sym prim.SymID) {
+	b.prog.Sym(sym).FuncPtr = true
+	b.recordForExisting(sym)
+	rec := &b.prog.Funcs[b.fnRec[sym]]
+	rec.Variadic = true
+}
+
+// ---------- Declarations and statements ----------
+
+func (b *builder) topDeclaration(d *cc.Declaration) {
+	for _, item := range d.Items {
+		o := b.ck.DeclObj[item]
+		if o == nil || o.Kind == ctypes.ObjTypedef || o.Kind == ctypes.ObjEnumConst {
+			continue
+		}
+		sym := b.symFor(o)
+		if item.Init != nil {
+			b.lowerInit(sym, o.Type, item.Init)
+		}
+	}
+}
+
+func (b *builder) funcDef(fd *cc.FuncDef) {
+	o := b.ck.FuncObj[fd]
+	if o == nil {
+		return
+	}
+	fn := b.symFor(o)
+	prevFunc, prevName := b.curFunc, b.curFuncName
+	b.curFunc, b.curFuncName = o, o.Name
+	defer func() { b.curFunc, b.curFuncName = prevFunc, prevName }()
+
+	// Bind standardized parameters to the declared parameter objects:
+	// x = f$1, y = f$2 ...
+	ft := o.Type.FuncType()
+	if ft != nil {
+		b.ensureParams(fn, len(ft.Params))
+		for i, name := range ft.Names {
+			if name == "" {
+				continue
+			}
+			po := b.lookupParamObject(name)
+			if po == nil {
+				continue
+			}
+			b.emit(prim.Assign{
+				Kind: prim.Simple,
+				Dst:  b.symFor(po),
+				Src:  b.paramSym(fn, i),
+				Op:   prim.OpCopy, Strength: prim.Strong,
+				Loc: locOf(fd.Pos_),
+			})
+		}
+	}
+	b.stmt(fd.Body)
+}
+
+// lookupParamObject finds the checked parameter object of the current
+// function by name.
+func (b *builder) lookupParamObject(name string) *ctypes.Object {
+	for _, o := range b.ck.Objects {
+		if o.IsParam && o.Name == name && o.FuncName == b.curFuncName {
+			return o
+		}
+	}
+	return nil
+}
+
+func (b *builder) stmt(s cc.Stmt) {
+	switch v := s.(type) {
+	case nil:
+	case *cc.CompoundStmt:
+		for _, item := range v.Items {
+			b.stmt(item)
+		}
+	case *cc.DeclStmt:
+		b.blockDeclaration(v.Decl)
+	case *cc.ExprStmt:
+		if v.Expr != nil {
+			b.effects(v.Expr)
+		}
+	case *cc.IfStmt:
+		b.effects(v.Cond)
+		b.stmt(v.Then)
+		b.stmt(v.Else)
+	case *cc.WhileStmt:
+		b.effects(v.Cond)
+		b.stmt(v.Body)
+	case *cc.DoStmt:
+		b.stmt(v.Body)
+		b.effects(v.Cond)
+	case *cc.ForStmt:
+		if v.InitDecl != nil {
+			b.blockDeclaration(v.InitDecl)
+		}
+		if v.Init != nil {
+			b.effects(v.Init)
+		}
+		if v.Cond != nil {
+			b.effects(v.Cond)
+		}
+		if v.Post != nil {
+			b.effects(v.Post)
+		}
+		b.stmt(v.Body)
+	case *cc.SwitchStmt:
+		b.effects(v.Tag)
+		b.stmt(v.Body)
+	case *cc.CaseStmt:
+		b.stmt(v.Body)
+	case *cc.ReturnStmt:
+		if v.Expr != nil && b.curFunc != nil {
+			fn := b.symFor(b.curFunc)
+			ret := b.retFor(fn)
+			b.assignTo(ref{kind: refObj, sym: ret}, v.Expr, ctx{op: prim.OpCopy, strength: prim.Strong})
+		} else if v.Expr != nil {
+			b.effects(v.Expr)
+		}
+	case *cc.LabelStmt:
+		b.stmt(v.Body)
+	case *cc.BreakStmt, *cc.ContinueStmt, *cc.GotoStmt:
+	}
+}
+
+func (b *builder) blockDeclaration(d *cc.Declaration) {
+	for _, item := range d.Items {
+		o := b.ck.DeclObj[item]
+		if o == nil || o.Kind == ctypes.ObjTypedef || o.Kind == ctypes.ObjEnumConst {
+			continue
+		}
+		sym := b.symFor(o)
+		if item.Init != nil {
+			b.lowerInit(sym, o.Type, item.Init)
+		}
+	}
+}
+
+// lowerInit lowers an initializer for the object sym of type t.
+func (b *builder) lowerInit(sym prim.SymID, t *ctypes.Type, init *cc.Init) {
+	if init.Expr != nil {
+		b.assignTo(ref{kind: refObj, sym: sym}, init.Expr, ctx{op: prim.OpCopy, strength: prim.Strong})
+		return
+	}
+	// Braced list.
+	switch {
+	case t != nil && t.Kind == ctypes.KArray:
+		for _, item := range init.List {
+			// Index-independent: every element is the array object.
+			b.lowerInit(sym, t.Elem, item)
+		}
+	case t != nil && t.IsStruct() && t.Info != nil:
+		fi := 0
+		for _, item := range init.List {
+			var f *ctypes.Field
+			if item.Field != "" {
+				if ff, ok := t.Info.FieldByName(item.Field); ok {
+					f = ff
+					// Designators reset sequential position.
+					for i := range t.Info.Fields {
+						if &t.Info.Fields[i] == ff {
+							fi = i + 1
+						}
+					}
+				}
+			} else if fi < len(t.Info.Fields) {
+				f = &t.Info.Fields[fi]
+				fi++
+			}
+			dst := sym
+			var ft *ctypes.Type
+			if f != nil {
+				ft = f.Type
+				if b.opts.Mode == FieldBased && f.Name != "" {
+					dst = b.fieldFor(t.Info, f, init.Pos_)
+				}
+			}
+			b.lowerInit(dst, ft, item)
+		}
+	default:
+		// Scalar with braces, or unknown aggregate: flatten.
+		for _, item := range init.List {
+			b.lowerInit(sym, t, item)
+		}
+	}
+}

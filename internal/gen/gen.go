@@ -1,0 +1,538 @@
+// Package gen generates deterministic synthetic C code bases calibrated to
+// the benchmark characteristics of the paper's Table 2 (variables and the
+// counts of each primitive assignment kind). The originals — nethack,
+// burlap, vortex, emacs, povray, gcc, gimp and the proprietary Lucent code
+// base — are not available, so each profile reproduces the published
+// statistics; the solver's cost is driven by the number and mix of
+// primitive assignments and the shape of the pointer graph, which is what
+// the profiles control.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"cla/internal/cpp"
+)
+
+// Profile describes one synthetic benchmark in terms of Table 2 columns.
+type Profile struct {
+	Name string
+	// Vars is the target number of named program variables.
+	Vars int
+	// Assignment-kind budgets: x = y, x = &y, *x = y, *x = *y, x = *y.
+	Simple, Base, Store, Copy, Load int
+	// Files is the number of translation units.
+	Files int
+	// Structs and FieldsPerStruct control the field-based vs
+	// field-independent contrast.
+	Structs int
+	// Funcs is the number of defined functions.
+	Funcs int
+	// IndirectFrac is the fraction of calls made through function
+	// pointers.
+	IndirectFrac float64
+	// Cluster is the locality window: assignments pick their operands
+	// from a window of this many variables, modeling the locality of real
+	// code (bigger windows percolate into denser points-to relations).
+	Cluster int
+	// Cross is the fraction of assignments that escape their cluster,
+	// mixing distant parts of the program (join points).
+	Cross float64
+}
+
+// Table2 lists the paper's eight benchmarks with their published variable
+// and assignment counts (Table 2, full scale).
+var Table2 = []Profile{
+	{Name: "nethack", Vars: 3856, Simple: 9118, Base: 1115, Store: 30, Copy: 34, Load: 105, Files: 20, Structs: 40, Funcs: 300, IndirectFrac: 0.01, Cluster: 16, Cross: 0.005},
+	{Name: "burlap", Vars: 6859, Simple: 14202, Base: 1049, Store: 1160, Copy: 714, Load: 1897, Files: 30, Structs: 60, Funcs: 500, IndirectFrac: 0.02, Cluster: 400, Cross: 0.12},
+	{Name: "vortex", Vars: 11395, Simple: 24218, Base: 7458, Store: 353, Copy: 231, Load: 1866, Files: 40, Structs: 80, Funcs: 800, IndirectFrac: 0.02, Cluster: 128, Cross: 0.05},
+	{Name: "emacs", Vars: 12587, Simple: 31345, Base: 3461, Store: 614, Copy: 154, Load: 1029, Files: 40, Structs: 80, Funcs: 900, IndirectFrac: 0.05, Cluster: 1024, Cross: 0.55},
+	{Name: "povray", Vars: 12570, Simple: 29565, Base: 4009, Store: 2431, Copy: 1190, Load: 3085, Files: 40, Structs: 90, Funcs: 900, IndirectFrac: 0.03, Cluster: 96, Cross: 0.04},
+	{Name: "gcc", Vars: 18749, Simple: 62556, Base: 3434, Store: 1673, Copy: 585, Load: 1467, Files: 60, Structs: 120, Funcs: 1500, IndirectFrac: 0.02, Cluster: 32, Cross: 0.01},
+	{Name: "gimp", Vars: 131552, Simple: 303810, Base: 25578, Store: 5943, Copy: 2397, Load: 6428, Files: 200, Structs: 400, Funcs: 6000, IndirectFrac: 0.02, Cluster: 576, Cross: 0.07},
+	{Name: "lucent", Vars: 96509, Simple: 270148, Base: 72355, Store: 1562, Copy: 991, Load: 3989, Files: 150, Structs: 300, Funcs: 5000, IndirectFrac: 0.01, Cluster: 128, Cross: 0.015},
+}
+
+// ProfileByName returns the named Table 2 profile.
+func ProfileByName(name string) (Profile, bool) {
+	for _, p := range Table2 {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// Scale returns a copy of p with every budget multiplied by f (minimum 1
+// where the original was non-zero).
+func (p Profile) Scale(f float64) Profile {
+	s := func(n int) int {
+		if n == 0 {
+			return 0
+		}
+		v := int(float64(n) * f)
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+	out := p
+	out.Vars = s(p.Vars)
+	out.Simple = s(p.Simple)
+	out.Base = s(p.Base)
+	out.Store = s(p.Store)
+	out.Copy = s(p.Copy)
+	out.Load = s(p.Load)
+	out.Files = clampMin(s(p.Files), 1)
+	out.Structs = clampMin(s(p.Structs), 1)
+	out.Funcs = clampMin(s(p.Funcs), out.Files)
+	return out
+}
+
+func clampMin(v, lo int) int {
+	if v < lo {
+		return lo
+	}
+	return v
+}
+
+// Code is a generated code base: file name → contents, plus the loader to
+// compile it with (resolving the shared header).
+type Code struct {
+	Files  map[string]string
+	Header string // name of the shared header
+}
+
+// Loader returns a cpp.Loader serving the generated files.
+func (c *Code) Loader() cpp.Loader { return cpp.MapLoader(c.Files) }
+
+// Units returns the .c file names in deterministic order.
+func (c *Code) Units() []string {
+	var out []string
+	for i := 0; ; i++ {
+		name := fmt.Sprintf("u%03d.c", i)
+		if _, ok := c.Files[name]; !ok {
+			break
+		}
+		out = append(out, name)
+	}
+	return out
+}
+
+// TotalLines counts source lines across all files.
+func (c *Code) TotalLines() int {
+	n := 0
+	for _, src := range c.Files {
+		n += strings.Count(src, "\n")
+	}
+	return n
+}
+
+// generator state.
+type generator struct {
+	p   Profile
+	rng *rand.Rand
+
+	// variable pools, partitioned per file. Index 0 is the shared pool
+	// (declared in the header, visible everywhere).
+	ints    [][]string // plain int variables
+	ptrs    [][]string // int *
+	ptrptrs [][]string // int **
+	structs [][]string // struct variables (struct type varies)
+	sTypes  []int      // struct type index of each struct var, flattened
+
+	funcs   []string // function names, func i defined in file i%Files
+	funcPtr []string // function-pointer globals (shared)
+
+	body      []strings.Builder // statement bodies per file
+	varN      int
+	focal     float64 // current locality focus in [0,1)
+	crossStmt bool    // current statement is a global join
+}
+
+// Generate produces a code base for profile p with the given seed.
+func Generate(p Profile, seed int64) *Code {
+	g := &generator{p: p, rng: rand.New(rand.NewSource(seed))}
+	g.allocate()
+	g.emitAssignments()
+	return g.render()
+}
+
+// pools: shared pool index 0; file pools 1..Files.
+func (g *generator) allocate() {
+	files := g.p.Files
+	g.ints = make([][]string, files+1)
+	g.ptrs = make([][]string, files+1)
+	g.ptrptrs = make([][]string, files+1)
+	g.structs = make([][]string, files+1)
+	g.body = make([]strings.Builder, files)
+
+	// Variable mix: 55% int, 28% ptr, 7% ptrptr, 10% struct vars.
+	nInt := g.p.Vars * 55 / 100
+	nPtr := g.p.Vars * 28 / 100
+	nPP := g.p.Vars * 7 / 100
+	nStruct := g.p.Vars - nInt - nPtr - nPP
+	shared := func(total int) int { return clampMin(total/20, 1) } // 5% shared
+
+	add := func(pools [][]string, prefix string, total int) {
+		ns := shared(total)
+		for i := 0; i < total; i++ {
+			g.varN++
+			name := fmt.Sprintf("%s%d", prefix, g.varN)
+			pool := 0
+			if i >= ns {
+				pool = 1 + g.rng.Intn(g.p.Files)
+			}
+			pools[pool] = append(pools[pool], name)
+		}
+	}
+	add(g.ints, "gi", nInt)
+	add(g.ptrs, "gp", nPtr)
+	add(g.ptrptrs, "gq", nPP)
+
+	// Struct variables: round-robin over struct types.
+	nsShared := shared(nStruct)
+	for i := 0; i < nStruct; i++ {
+		g.varN++
+		name := fmt.Sprintf("gs%d", g.varN)
+		pool := 0
+		if i >= nsShared {
+			pool = 1 + g.rng.Intn(g.p.Files)
+		}
+		g.structs[pool] = append(g.structs[pool], name)
+		g.sTypes = append(g.sTypes, i%g.p.Structs)
+	}
+
+	for i := 0; i < g.p.Funcs; i++ {
+		g.funcs = append(g.funcs, fmt.Sprintf("fn%d", i))
+	}
+	nfp := clampMin(int(float64(g.p.Funcs)*g.p.IndirectFrac), 1)
+	for i := 0; i < nfp; i++ {
+		g.funcPtr = append(g.funcPtr, fmt.Sprintf("fptr%d", i))
+	}
+}
+
+// cluster returns the locality window size.
+func (g *generator) cluster() int {
+	if g.p.Cluster <= 0 {
+		return 48
+	}
+	return g.p.Cluster
+}
+
+// focus starts a new statement neighborhood: subsequent picks stay within
+// a window of the pool around the focal point. With probability Cross the
+// whole statement becomes a global join: every operand is drawn from the
+// shared pool, wiring distant parts of the program together the way
+// central tables and list heads do in real code.
+func (g *generator) focus() {
+	g.focal = g.rng.Float64()
+	g.crossStmt = g.rng.Float64() < g.p.Cross
+}
+
+// pick chooses a variable usable from file f near the current focal
+// point, or from the shared pool when the statement is a global join.
+func (g *generator) pick(pools [][]string, f int) string {
+	own := pools[f+1]
+	sh := pools[0]
+	if len(own) == 0 && len(sh) == 0 {
+		return ""
+	}
+	if (g.crossStmt && len(sh) > 0 && g.rng.Float64() < 0.7) || len(own) == 0 {
+		if len(sh) > 0 {
+			return sh[g.rng.Intn(len(sh))]
+		}
+		return own[g.rng.Intn(len(own))]
+	}
+	w := g.cluster()
+	base := int(g.focal * float64(len(own)))
+	idx := (base + g.rng.Intn(w)) % len(own)
+	return own[idx]
+}
+
+// structVar picks a struct variable with its type index.
+func (g *generator) structVar(f int) (string, int) {
+	// Locate in flattened order: pools hold names; recover type by name
+	// order — store a map instead for simplicity.
+	own := g.structs[f+1]
+	sh := g.structs[0]
+	var name string
+	if len(own) == 0 && len(sh) == 0 {
+		return "", -1
+	}
+	if len(own) == 0 || (len(sh) > 0 && g.crossStmt) {
+		name = sh[g.rng.Intn(len(sh))]
+	} else {
+		w := g.cluster()
+		base := int(g.focal * float64(len(own)))
+		name = own[(base+g.rng.Intn(w))%len(own)]
+	}
+	return name, g.typeOf(name)
+}
+
+// typeOf derives the struct type index from the variable's global index
+// (struct vars were assigned types round-robin in allocation order).
+func (g *generator) typeOf(name string) int {
+	// Names are gsN; the Nth struct var allocated overall.
+	var n int
+	fmt.Sscanf(name, "gs%d", &n)
+	return n % g.p.Structs
+}
+
+func (g *generator) stmt(f int, s string) {
+	g.body[f].WriteString("\t")
+	g.body[f].WriteString(s)
+	g.body[f].WriteString("\n")
+}
+
+// emitAssignments spends each kind's budget on concrete statements.
+func (g *generator) emitAssignments() {
+	files := g.p.Files
+	rf := func() int { return g.rng.Intn(files) }
+
+	// Budget adjustments: function definitions and calls consume Simple
+	// budget (parameter/return bindings are simple assignments).
+	// Each function `int fn(int a){ return a+...; }` costs 2 simples
+	// (a = fn$1, fn$ret = a); each call `x = fn(y)` costs 2.
+	nCalls := g.p.Simple / 8
+	simpleLeft := g.p.Simple - 2*g.p.Funcs - 2*nCalls
+	if simpleLeft < 0 {
+		nCalls = clampMin((g.p.Simple-2*g.p.Funcs)/2, 0)
+		simpleLeft = 0
+	}
+
+	// Base: 60% p = &x, 15% q = &p, 10% s.f = &x (field pointer), 10%
+	// p = &s.f, 5% fptr = &fn.
+	nB := g.p.Base
+	for i := 0; i < nB; i++ {
+		f := rf()
+		g.focus()
+		switch r := g.rng.Intn(100); {
+		case r < 60:
+			p, x := g.pick(g.ptrs, f), g.pick(g.ints, f)
+			if p != "" && x != "" {
+				g.stmt(f, fmt.Sprintf("%s = &%s;", p, x))
+			}
+		case r < 75:
+			q, p := g.pick(g.ptrptrs, f), g.pick(g.ptrs, f)
+			if q != "" && p != "" {
+				g.stmt(f, fmt.Sprintf("%s = &%s;", q, p))
+			}
+		case r < 85:
+			s, ti := g.structVar(f)
+			x := g.pick(g.ints, f)
+			if s != "" && x != "" {
+				g.stmt(f, fmt.Sprintf("%s.pf%d = &%s;", s, g.rng.Intn(fieldsPerStruct), x))
+				_ = ti
+			}
+		case r < 95:
+			p := g.pick(g.ptrs, f)
+			s, _ := g.structVar(f)
+			if p != "" && s != "" {
+				g.stmt(f, fmt.Sprintf("%s = &%s.vf%d;", p, s, g.rng.Intn(fieldsPerStruct)))
+			}
+		default:
+			if len(g.funcPtr) > 0 && len(g.funcs) > 0 {
+				fp := g.funcPtr[g.rng.Intn(len(g.funcPtr))]
+				fn := g.funcs[g.rng.Intn(len(g.funcs))]
+				g.stmt(f, fmt.Sprintf("%s = &%s;", fp, fn))
+			}
+		}
+	}
+
+	// Simple: mostly x = y (ints); pointer copies take a share that grows
+	// with the profile's join density (they are what percolates points-to
+	// sets through the program); the rest is struct field traffic.
+	ptrShare := 15 + int(100*g.p.Cross)
+	intShare := 85 - ptrShare - 15
+	for i := 0; i < simpleLeft; i++ {
+		f := rf()
+		g.focus()
+		switch r := g.rng.Intn(100); {
+		case r < intShare:
+			a, b := g.pick(g.ints, f), g.pick(g.ints, f)
+			if a != "" && b != "" && a != b {
+				switch g.rng.Intn(4) {
+				case 0:
+					g.stmt(f, fmt.Sprintf("%s = %s;", a, b))
+				case 1:
+					g.stmt(f, fmt.Sprintf("%s = %s + 1;", a, b))
+				case 2:
+					g.stmt(f, fmt.Sprintf("%s = %s << 2;", a, b))
+				default:
+					g.stmt(f, fmt.Sprintf("%s += %s;", a, b))
+				}
+			}
+		case r < intShare+ptrShare:
+			a, b := g.pick(g.ptrs, f), g.pick(g.ptrs, f)
+			if a != "" && b != "" && a != b {
+				g.stmt(f, fmt.Sprintf("%s = %s;", a, b))
+			}
+		case r < intShare+ptrShare+10:
+			s, _ := g.structVar(f)
+			x := g.pick(g.ints, f)
+			if s != "" && x != "" {
+				if g.rng.Intn(2) == 0 {
+					g.stmt(f, fmt.Sprintf("%s.vf%d = %s;", s, g.rng.Intn(fieldsPerStruct), x))
+				} else {
+					g.stmt(f, fmt.Sprintf("%s = %s.vf%d;", x, s, g.rng.Intn(fieldsPerStruct)))
+				}
+			}
+		default:
+			p1, s := g.pick(g.ptrs, f), ""
+			sv, _ := g.structVar(f)
+			s = sv
+			if p1 != "" && s != "" {
+				g.stmt(f, fmt.Sprintf("%s = %s.pf%d;", p1, s, g.rng.Intn(fieldsPerStruct)))
+			}
+		}
+	}
+
+	// Store: *p = x and *q = p.
+	for i := 0; i < g.p.Store; i++ {
+		f := rf()
+		g.focus()
+		if g.rng.Intn(4) > 0 {
+			p, x := g.pick(g.ptrs, f), g.pick(g.ints, f)
+			if p != "" && x != "" {
+				g.stmt(f, fmt.Sprintf("*%s = %s;", p, x))
+			}
+		} else {
+			q, p := g.pick(g.ptrptrs, f), g.pick(g.ptrs, f)
+			if q != "" && p != "" {
+				g.stmt(f, fmt.Sprintf("*%s = %s;", q, p))
+			}
+		}
+	}
+
+	// Load: x = *p and p = *q.
+	for i := 0; i < g.p.Load; i++ {
+		f := rf()
+		g.focus()
+		if g.rng.Intn(4) > 0 {
+			x, p := g.pick(g.ints, f), g.pick(g.ptrs, f)
+			if x != "" && p != "" {
+				g.stmt(f, fmt.Sprintf("%s = *%s;", x, p))
+			}
+		} else {
+			p, q := g.pick(g.ptrs, f), g.pick(g.ptrptrs, f)
+			if p != "" && q != "" {
+				g.stmt(f, fmt.Sprintf("%s = *%s;", p, q))
+			}
+		}
+	}
+
+	// Copy: *p = *p2.
+	for i := 0; i < g.p.Copy; i++ {
+		f := rf()
+		g.focus()
+		a, b := g.pick(g.ptrs, f), g.pick(g.ptrs, f)
+		if a != "" && b != "" && a != b {
+			g.stmt(f, fmt.Sprintf("*%s = *%s;", a, b))
+		}
+	}
+
+	// Calls: direct and indirect.
+	for i := 0; i < nCalls; i++ {
+		f := rf()
+		g.focus()
+		x, y := g.pick(g.ints, f), g.pick(g.ints, f)
+		if x == "" || y == "" {
+			continue
+		}
+		if len(g.funcPtr) > 0 && g.rng.Float64() < g.p.IndirectFrac {
+			fp := g.funcPtr[g.rng.Intn(len(g.funcPtr))]
+			g.stmt(f, fmt.Sprintf("%s = %s(%s);", x, fp, y))
+		} else {
+			fn := g.funcs[g.rng.Intn(len(g.funcs))]
+			g.stmt(f, fmt.Sprintf("%s = %s(%s);", x, fn, y))
+		}
+	}
+}
+
+// fieldsPerStruct is fixed: each struct has vf0..vf3 (int) and pf0..pf3
+// (int *) fields.
+const fieldsPerStruct = 4
+
+// render assembles the header and unit files.
+func (g *generator) render() *Code {
+	files := map[string]string{}
+
+	var h strings.Builder
+	h.WriteString("#ifndef GEN_DEFS_H\n#define GEN_DEFS_H\n")
+	for i := 0; i < g.p.Structs; i++ {
+		fmt.Fprintf(&h, "struct S%d { ", i)
+		for j := 0; j < fieldsPerStruct; j++ {
+			fmt.Fprintf(&h, "int vf%d; int *pf%d; ", j, j)
+		}
+		h.WriteString("};\n")
+	}
+	declare := func(kw, name string) { fmt.Fprintf(&h, "extern %s;\n", fmt.Sprintf(kw, name)) }
+	for _, v := range g.ints[0] {
+		declare("int %s", v)
+	}
+	for _, v := range g.ptrs[0] {
+		declare("int *%s", v)
+	}
+	for _, v := range g.ptrptrs[0] {
+		declare("int **%s", v)
+	}
+	for _, v := range g.structs[0] {
+		fmt.Fprintf(&h, "extern struct S%d %s;\n", g.typeOf(v), v)
+	}
+	for _, fp := range g.funcPtr {
+		fmt.Fprintf(&h, "extern int (*%s)(int);\n", fp)
+	}
+	for _, fn := range g.funcs {
+		fmt.Fprintf(&h, "int %s(int);\n", fn)
+	}
+	h.WriteString("#endif\n")
+	files["defs.h"] = h.String()
+
+	for f := 0; f < g.p.Files; f++ {
+		var b strings.Builder
+		b.WriteString("#include \"defs.h\"\n")
+		if f == 0 {
+			// Shared definitions live in unit 0.
+			for _, v := range g.ints[0] {
+				fmt.Fprintf(&b, "int %s;\n", v)
+			}
+			for _, v := range g.ptrs[0] {
+				fmt.Fprintf(&b, "int *%s;\n", v)
+			}
+			for _, v := range g.ptrptrs[0] {
+				fmt.Fprintf(&b, "int **%s;\n", v)
+			}
+			for _, v := range g.structs[0] {
+				fmt.Fprintf(&b, "struct S%d %s;\n", g.typeOf(v), v)
+			}
+			for _, fp := range g.funcPtr {
+				fmt.Fprintf(&b, "int (*%s)(int);\n", fp)
+			}
+		}
+		for _, v := range g.ints[f+1] {
+			fmt.Fprintf(&b, "int %s;\n", v)
+		}
+		for _, v := range g.ptrs[f+1] {
+			fmt.Fprintf(&b, "int *%s;\n", v)
+		}
+		for _, v := range g.ptrptrs[f+1] {
+			fmt.Fprintf(&b, "int **%s;\n", v)
+		}
+		for _, v := range g.structs[f+1] {
+			fmt.Fprintf(&b, "struct S%d %s;\n", g.typeOf(v), v)
+		}
+		// Function definitions owned by this file.
+		for i := f; i < len(g.funcs); i += g.p.Files {
+			fmt.Fprintf(&b, "int %s(int a0) { return a0 + 1; }\n", g.funcs[i])
+		}
+		// Statements wrapped in one driver function per file.
+		fmt.Fprintf(&b, "void unit%d_main(void) {\n", f)
+		b.WriteString(g.body[f].String())
+		b.WriteString("}\n")
+		files[fmt.Sprintf("u%03d.c", f)] = b.String()
+	}
+	return &Code{Files: files, Header: "defs.h"}
+}

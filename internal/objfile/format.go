@@ -1,0 +1,114 @@
+// Package objfile implements the CLA object-file format: an indexed,
+// database-like binary representation of a translation unit's primitive
+// assignments, designed so an analysis can dynamically load just the
+// components it needs and re-load them after discarding.
+//
+// Layout (all integers little-endian):
+//
+//	header:   magic "CLAO", version u32, assignment counts by kind (5×u64),
+//	          section table: numSections × {offset u64, size u64}
+//	strings:  string pool; each string is u32 length + bytes; referenced
+//	          by byte offset within the section
+//	symbols:  u32 count, then fixed 24-byte records
+//	          {name u32, type u32, file u32, funcName u32, line i32,
+//	           kind u8, flags u8, pad u16}
+//	static:   address-of assignments (x = &y), always loaded by the
+//	          points-to analysis: u32 count, then 16-byte records
+//	          {dst u32, src u32, line i32, op u8, strength u8, pad u16}
+//	blocks:   the dynamic section: one block per object, holding the
+//	          primitive assignments whose *source* is that object; each
+//	          entry is 12 bytes {kind u8, op u8, strength u8, pad u8,
+//	          dst u32, line i32}
+//	blockidx: per-symbol index into blocks: numSyms × {offset u64,
+//	          count u32} — supports one-lookup demand loading
+//	funcs:    function records for call linking: u32 count, then
+//	          {func u32, ret u32 (NoSym=0xffffffff), variadic u8, pad×3,
+//	           nparams u32, params u32...}
+//	targets:  sorted (name, sym) pairs for target lookup by name:
+//	          u32 count, then {name u32, sym u32}, ordered by string
+//
+// Block entries do not repeat the file name of their location: the file is
+// taken from the source symbol's declaration site when distinct files are
+// not needed, and the full location is recoverable from the line plus the
+// symbol's file, which is exact for the single-file translation units the
+// compile phase emits per unit. The linker preserves per-assignment files
+// by re-writing symbols' file offsets.
+package objfile
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"cla/internal/prim"
+)
+
+// Magic identifies CLA object files.
+const Magic = "CLAO"
+
+// Version is the current format version.
+const Version = 3
+
+// section ids.
+const (
+	secStrings = iota
+	secSymbols
+	secStatic
+	secBlocks
+	secBlockIdx
+	secFuncs
+	secTargets
+	numSections
+)
+
+const (
+	symRecSize   = 24
+	staticRec    = 20 // dst u32, src u32, file u32, line i32, op u8, strength u8, pad u16
+	blockRecSize = 16 // kind u8, op u8, strength u8, pad u8, dst u32, file u32, line i32
+	idxRecSize   = 12
+)
+
+// flag bits in symbol records.
+const (
+	flagFuncPtr  = 1 << 0
+	flagInternal = 1 << 1
+)
+
+// BlockEntry is one demand-loaded primitive assignment from an object's
+// block. The entry's source is implicit (the block's object); Kind says
+// how Dst relates to it.
+type BlockEntry struct {
+	Kind     prim.Kind
+	Dst      prim.SymID
+	Op       prim.Op
+	Strength prim.Strength
+	Loc      prim.Loc
+}
+
+// Assign reconstructs the full primitive assignment given the block's
+// source symbol.
+func (e BlockEntry) Assign(src prim.SymID) prim.Assign {
+	return prim.Assign{
+		Kind: e.Kind, Dst: e.Dst, Src: src,
+		Op: e.Op, Strength: e.Strength, Loc: e.Loc,
+	}
+}
+
+// Stats summarizes a database, matching the columns of Table 2.
+type Stats struct {
+	Syms         int
+	Assigns      [prim.NumKinds]int
+	FileSize     int64
+	ProgramVars  int // named program variables (not temps/heap/params)
+	TotalAssigns int
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("syms=%d vars=%d assigns=%v", s.Syms, s.ProgramVars, s.Assigns)
+}
+
+var le = binary.LittleEndian
+
+// corrupt builds a corruption error.
+func corrupt(format string, args ...any) error {
+	return fmt.Errorf("objfile: corrupt database: %s", fmt.Sprintf(format, args...))
+}

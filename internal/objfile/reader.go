@@ -1,0 +1,457 @@
+package objfile
+
+import (
+	"io"
+	"os"
+	"sort"
+
+	"cla/internal/prim"
+)
+
+// Reader provides indexed, demand-loaded access to an object database.
+// Symbol metadata and the section index are resident; blocks are decoded
+// on each request so callers can discard and re-load them freely — the
+// load-and-throw-away strategy of the CLA analyze phase.
+type Reader struct {
+	r    io.ReaderAt
+	size int64
+	f    *os.File // owned file when opened by path
+
+	secOff  [numSections]int64
+	secLen  [numSections]int64
+	counts  [prim.NumKinds]int
+	strings []byte // resident string pool
+	syms    []prim.Symbol
+	// blockIdx holds (offset, count) per symbol.
+	blockOff []int64
+	blockCnt []int32
+	funcs    []prim.FuncRecord
+	// targets: sorted names with symbol ids.
+	targetNames []string
+	targetSyms  []prim.SymID
+
+	// BytesLoaded counts block bytes decoded, for the paper's
+	// loaded-assignments accounting.
+	EntriesLoaded int64
+}
+
+// Open opens the named object file.
+func Open(path string) (*Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	r, err := NewReader(f, st.Size())
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	r.f = f
+	return r, nil
+}
+
+// Close releases the underlying file, if owned.
+func (r *Reader) Close() error {
+	if r.f != nil {
+		return r.f.Close()
+	}
+	return nil
+}
+
+// NewReader parses the header, symbol table and indexes from ra.
+func NewReader(ra io.ReaderAt, size int64) (*Reader, error) {
+	r := &Reader{r: ra, size: size}
+	hdrSize := int64(4 + 4 + 8*prim.NumKinds + numSections*16)
+	if size < hdrSize {
+		return nil, corrupt("file too small (%d bytes)", size)
+	}
+	hdr := make([]byte, hdrSize)
+	if _, err := ra.ReadAt(hdr, 0); err != nil {
+		return nil, err
+	}
+	if string(hdr[:4]) != Magic {
+		return nil, corrupt("bad magic %q", hdr[:4])
+	}
+	if v := le.Uint32(hdr[4:]); v != Version {
+		return nil, corrupt("unsupported version %d (want %d)", v, Version)
+	}
+	p := 8
+	for i := 0; i < prim.NumKinds; i++ {
+		r.counts[i] = int(le.Uint64(hdr[p:]))
+		p += 8
+	}
+	for i := 0; i < numSections; i++ {
+		r.secOff[i] = int64(le.Uint64(hdr[p:]))
+		r.secLen[i] = int64(le.Uint64(hdr[p+8:]))
+		p += 16
+		if r.secOff[i] < hdrSize || r.secLen[i] < 0 || r.secLen[i] > size ||
+			r.secOff[i]+r.secLen[i] > size {
+			return nil, corrupt("section %d out of bounds", i)
+		}
+	}
+	if err := r.loadStrings(); err != nil {
+		return nil, err
+	}
+	if err := r.loadSymbols(); err != nil {
+		return nil, err
+	}
+	if err := r.loadBlockIndex(); err != nil {
+		return nil, err
+	}
+	if err := r.loadFuncs(); err != nil {
+		return nil, err
+	}
+	if err := r.loadTargets(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+func (r *Reader) section(i int) ([]byte, error) {
+	b := make([]byte, r.secLen[i])
+	if _, err := r.r.ReadAt(b, r.secOff[i]); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+func (r *Reader) loadStrings() error {
+	b, err := r.section(secStrings)
+	if err != nil {
+		return err
+	}
+	r.strings = b
+	return nil
+}
+
+// str decodes a string-pool reference.
+func (r *Reader) str(off uint32) (string, error) {
+	if int64(off)+4 > int64(len(r.strings)) {
+		return "", corrupt("string offset %d out of range", off)
+	}
+	n := le.Uint32(r.strings[off:])
+	end := int64(off) + 4 + int64(n)
+	if end > int64(len(r.strings)) {
+		return "", corrupt("string at %d overruns pool", off)
+	}
+	return string(r.strings[off+4 : end]), nil
+}
+
+func decodeSymID(v uint32) prim.SymID {
+	if v == 0xffffffff {
+		return prim.NoSym
+	}
+	return prim.SymID(v)
+}
+
+func (r *Reader) loadSymbols() error {
+	b, err := r.section(secSymbols)
+	if err != nil {
+		return err
+	}
+	if len(b) < 4 {
+		return corrupt("symbol section too small")
+	}
+	n := int(le.Uint32(b))
+	if n < 0 || n > len(b) || len(b) != 4+n*symRecSize {
+		return corrupt("symbol section size mismatch (%d symbols, %d bytes)", n, len(b))
+	}
+	r.syms = make([]prim.Symbol, n)
+	for i := 0; i < n; i++ {
+		rec := b[4+i*symRecSize:]
+		name, err := r.str(le.Uint32(rec))
+		if err != nil {
+			return err
+		}
+		typ, err := r.str(le.Uint32(rec[4:]))
+		if err != nil {
+			return err
+		}
+		file, err := r.str(le.Uint32(rec[8:]))
+		if err != nil {
+			return err
+		}
+		funcName, err := r.str(le.Uint32(rec[12:]))
+		if err != nil {
+			return err
+		}
+		kind := prim.SymKind(rec[20])
+		if int(kind) >= prim.NumSymKinds {
+			return corrupt("symbol %d has bad kind %d", i, kind)
+		}
+		flags := rec[21]
+		r.syms[i] = prim.Symbol{
+			Name: name, Type: typ, FuncName: funcName,
+			Loc:      prim.Loc{File: file, Line: int32(le.Uint32(rec[16:]))},
+			Kind:     kind,
+			FuncPtr:  flags&flagFuncPtr != 0,
+			Internal: flags&flagInternal != 0,
+		}
+	}
+	return nil
+}
+
+func (r *Reader) loadBlockIndex() error {
+	b, err := r.section(secBlockIdx)
+	if err != nil {
+		return err
+	}
+	if len(b) < 4 {
+		return corrupt("block index too small")
+	}
+	n := int(le.Uint32(b))
+	if n != len(r.syms) {
+		return corrupt("block index count %d != symbol count %d", n, len(r.syms))
+	}
+	if len(b) != 4+n*idxRecSize {
+		return corrupt("block index size mismatch")
+	}
+	r.blockOff = make([]int64, n)
+	r.blockCnt = make([]int32, n)
+	for i := 0; i < n; i++ {
+		rec := b[4+i*idxRecSize:]
+		r.blockOff[i] = int64(le.Uint64(rec))
+		r.blockCnt[i] = int32(le.Uint32(rec[8:]))
+		end := r.blockOff[i] + int64(r.blockCnt[i])*blockRecSize
+		if r.blockOff[i] < 0 || r.blockCnt[i] < 0 || end > r.secLen[secBlocks] {
+			return corrupt("block for symbol %d out of bounds", i)
+		}
+	}
+	return nil
+}
+
+func (r *Reader) loadFuncs() error {
+	b, err := r.section(secFuncs)
+	if err != nil {
+		return err
+	}
+	if len(b) < 4 {
+		return corrupt("func section too small")
+	}
+	n := int(le.Uint32(b))
+	if n < 0 || n > len(b) {
+		return corrupt("func count %d out of range", n)
+	}
+	p := 4
+	r.funcs = make([]prim.FuncRecord, 0, min(n, 1024))
+	for i := 0; i < n; i++ {
+		if p+16 > len(b) {
+			return corrupt("func record %d truncated", i)
+		}
+		rec := prim.FuncRecord{
+			Func:     decodeSymID(le.Uint32(b[p:])),
+			Ret:      decodeSymID(le.Uint32(b[p+4:])),
+			Variadic: b[p+8] != 0,
+		}
+		np := int(le.Uint32(b[p+12:]))
+		p += 16
+		if np < 0 || np > len(b) || p+np*4 > len(b) {
+			return corrupt("func record %d params truncated", i)
+		}
+		for j := 0; j < np; j++ {
+			rec.Params = append(rec.Params, decodeSymID(le.Uint32(b[p+j*4:])))
+		}
+		p += np * 4
+		if err := r.checkSym(rec.Func); err != nil {
+			return err
+		}
+		r.funcs = append(r.funcs, rec)
+	}
+	return nil
+}
+
+func (r *Reader) loadTargets() error {
+	b, err := r.section(secTargets)
+	if err != nil {
+		return err
+	}
+	if len(b) < 4 {
+		return corrupt("target section too small")
+	}
+	n := int(le.Uint32(b))
+	if n < 0 || n > len(b) || len(b) != 4+n*8 {
+		return corrupt("target section size mismatch")
+	}
+	r.targetNames = make([]string, n)
+	r.targetSyms = make([]prim.SymID, n)
+	for i := 0; i < n; i++ {
+		rec := b[4+i*8:]
+		name, err := r.str(le.Uint32(rec))
+		if err != nil {
+			return err
+		}
+		r.targetNames[i] = name
+		r.targetSyms[i] = decodeSymID(le.Uint32(rec[4:]))
+		if err := r.checkSym(r.targetSyms[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (r *Reader) checkSym(id prim.SymID) error {
+	if id == prim.NoSym {
+		return nil
+	}
+	if int(id) < 0 || int(id) >= len(r.syms) {
+		return corrupt("symbol id %d out of range", id)
+	}
+	return nil
+}
+
+// NumSyms returns the number of symbols.
+func (r *Reader) NumSyms() int { return len(r.syms) }
+
+// Sym returns the symbol with the given id.
+func (r *Reader) Sym(id prim.SymID) *prim.Symbol { return &r.syms[id] }
+
+// Syms returns the resident symbol table.
+func (r *Reader) Syms() []prim.Symbol { return r.syms }
+
+// Counts returns the per-kind assignment counts from the header.
+func (r *Reader) Counts() [prim.NumKinds]int { return r.counts }
+
+// Funcs returns the function records.
+func (r *Reader) Funcs() []prim.FuncRecord { return r.funcs }
+
+// Statics decodes the always-loaded address-of section.
+func (r *Reader) Statics() ([]prim.Assign, error) {
+	b, err := r.section(secStatic)
+	if err != nil {
+		return nil, err
+	}
+	if len(b) < 4 {
+		return nil, corrupt("static section too small")
+	}
+	n := int(le.Uint32(b))
+	if n < 0 || n > len(b) || len(b) != 4+n*staticRec {
+		return nil, corrupt("static section size mismatch")
+	}
+	out := make([]prim.Assign, 0, n)
+	for i := 0; i < n; i++ {
+		rec := b[4+i*staticRec:]
+		a := prim.Assign{
+			Kind:     prim.Base,
+			Dst:      decodeSymID(le.Uint32(rec)),
+			Src:      decodeSymID(le.Uint32(rec[4:])),
+			Op:       prim.Op(rec[16]),
+			Strength: prim.Strength(rec[17]),
+		}
+		file, err := r.str(le.Uint32(rec[8:]))
+		if err != nil {
+			return nil, err
+		}
+		a.Loc = prim.Loc{File: file, Line: int32(le.Uint32(rec[12:]))}
+		if err := r.checkSym(a.Dst); err != nil {
+			return nil, err
+		}
+		if err := r.checkSym(a.Src); err != nil {
+			return nil, err
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// BlockLen returns the number of assignments in sym's block without
+// loading it.
+func (r *Reader) BlockLen(sym prim.SymID) int {
+	if int(sym) < 0 || int(sym) >= len(r.blockCnt) {
+		return 0
+	}
+	return int(r.blockCnt[sym])
+}
+
+// Block demand-loads the primitive assignments whose source is sym. The
+// returned slice is freshly decoded; callers may keep or discard it.
+func (r *Reader) Block(sym prim.SymID) ([]BlockEntry, error) {
+	if int(sym) < 0 || int(sym) >= len(r.blockOff) {
+		return nil, corrupt("block request for bad symbol %d", sym)
+	}
+	n := int(r.blockCnt[sym])
+	if n == 0 {
+		return nil, nil
+	}
+	b := make([]byte, n*blockRecSize)
+	if _, err := r.r.ReadAt(b, r.secOff[secBlocks]+r.blockOff[sym]); err != nil {
+		return nil, err
+	}
+	out := make([]BlockEntry, n)
+	for i := 0; i < n; i++ {
+		rec := b[i*blockRecSize:]
+		kind := prim.Kind(rec[0])
+		if !kind.Valid() || kind == prim.Base {
+			return nil, corrupt("block entry %d of symbol %d has kind %d", i, sym, kind)
+		}
+		dst := decodeSymID(le.Uint32(rec[4:]))
+		if err := r.checkSym(dst); err != nil {
+			return nil, err
+		}
+		file, err := r.str(le.Uint32(rec[8:]))
+		if err != nil {
+			return nil, err
+		}
+		out[i] = BlockEntry{
+			Kind:     kind,
+			Op:       prim.Op(rec[1]),
+			Strength: prim.Strength(rec[2]),
+			Dst:      dst,
+			Loc:      prim.Loc{File: file, Line: int32(le.Uint32(rec[12:]))},
+		}
+	}
+	r.EntriesLoaded += int64(n)
+	return out, nil
+}
+
+// TargetLookup returns the ids of all symbols named name, using the sorted
+// target index (one binary search, as in the paper's target section).
+func (r *Reader) TargetLookup(name string) []prim.SymID {
+	i := sort.SearchStrings(r.targetNames, name)
+	var out []prim.SymID
+	for ; i < len(r.targetNames) && r.targetNames[i] == name; i++ {
+		out = append(out, r.targetSyms[i])
+	}
+	return out
+}
+
+// Stats summarizes the database.
+func (r *Reader) Stats() Stats {
+	st := Stats{Syms: len(r.syms), Assigns: r.counts, FileSize: r.size}
+	for i := range r.counts {
+		st.TotalAssigns += r.counts[i]
+	}
+	for i := range r.syms {
+		switch r.syms[i].Kind {
+		case prim.SymGlobal, prim.SymStatic, prim.SymLocal, prim.SymField:
+			st.ProgramVars++
+		}
+	}
+	return st
+}
+
+// Program decodes the entire database into memory, for tests and the
+// whole-program (non-demand) analysis modes.
+func (r *Reader) Program() (*prim.Program, error) {
+	p := &prim.Program{Syms: append([]prim.Symbol(nil), r.syms...)}
+	statics, err := r.Statics()
+	if err != nil {
+		return nil, err
+	}
+	p.Assigns = append(p.Assigns, statics...)
+	for id := range r.syms {
+		entries, err := r.Block(prim.SymID(id))
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range entries {
+			p.Assigns = append(p.Assigns, e.Assign(prim.SymID(id)))
+		}
+	}
+	p.Funcs = append(p.Funcs, r.funcs...)
+	return p, nil
+}

@@ -1,0 +1,215 @@
+package objfile
+
+import (
+	"bufio"
+	"io"
+	"os"
+	"sort"
+
+	"cla/internal/prim"
+)
+
+// Writer serializes a prim.Program into the object-file format.
+type stringPool struct {
+	buf  []byte
+	offs map[string]uint32
+}
+
+func newStringPool() *stringPool {
+	p := &stringPool{offs: map[string]uint32{}}
+	p.add("") // offset 0 is always the empty string
+	return p
+}
+
+func (p *stringPool) add(s string) uint32 {
+	if off, ok := p.offs[s]; ok {
+		return off
+	}
+	off := uint32(len(p.buf))
+	var lenBuf [4]byte
+	le.PutUint32(lenBuf[:], uint32(len(s)))
+	p.buf = append(p.buf, lenBuf[:]...)
+	p.buf = append(p.buf, s...)
+	p.offs[s] = off
+	return off
+}
+
+type secBuf struct{ b []byte }
+
+func (s *secBuf) u8(v uint8)   { s.b = append(s.b, v) }
+func (s *secBuf) u32(v uint32) { var t [4]byte; le.PutUint32(t[:], v); s.b = append(s.b, t[:]...) }
+func (s *secBuf) u64(v uint64) { var t [8]byte; le.PutUint64(t[:], v); s.b = append(s.b, t[:]...) }
+func (s *secBuf) i32(v int32)  { s.u32(uint32(v)) }
+
+// symID encodes prim.NoSym as the all-ones pattern.
+func symID(id prim.SymID) uint32 {
+	if id == prim.NoSym {
+		return 0xffffffff
+	}
+	return uint32(id)
+}
+
+// Write serializes prog to w.
+func Write(w io.Writer, prog *prim.Program) error {
+	pool := newStringPool()
+	var sections [numSections]secBuf
+
+	// Symbols.
+	syms := &sections[secSymbols]
+	syms.u32(uint32(len(prog.Syms)))
+	for i := range prog.Syms {
+		s := &prog.Syms[i]
+		syms.u32(pool.add(s.Name))
+		syms.u32(pool.add(s.Type))
+		syms.u32(pool.add(s.Loc.File))
+		syms.u32(pool.add(s.FuncName))
+		syms.i32(s.Loc.Line)
+		syms.u8(uint8(s.Kind))
+		flags := uint8(0)
+		if s.FuncPtr {
+			flags |= flagFuncPtr
+		}
+		if s.Internal {
+			flags |= flagInternal
+		}
+		syms.u8(flags)
+		syms.u8(0)
+		syms.u8(0)
+	}
+
+	// Static section (base assignments) and per-source blocks.
+	static := &sections[secStatic]
+	blockOf := make([][]prim.Assign, len(prog.Syms))
+	nStatic := 0
+	for _, a := range prog.Assigns {
+		if a.Kind == prim.Base {
+			nStatic++
+			continue
+		}
+		if int(a.Src) < 0 || int(a.Src) >= len(prog.Syms) {
+			return corrupt("assignment source %d out of range", a.Src)
+		}
+		blockOf[a.Src] = append(blockOf[a.Src], a)
+	}
+	static.u32(uint32(nStatic))
+	for _, a := range prog.Assigns {
+		if a.Kind != prim.Base {
+			continue
+		}
+		static.u32(symID(a.Dst))
+		static.u32(symID(a.Src))
+		static.u32(pool.add(a.Loc.File))
+		static.i32(a.Loc.Line)
+		static.u8(uint8(a.Op))
+		static.u8(uint8(a.Strength))
+		static.u8(0)
+		static.u8(0)
+	}
+
+	// Blocks + index.
+	blocks := &sections[secBlocks]
+	idx := &sections[secBlockIdx]
+	idx.u32(uint32(len(prog.Syms)))
+	for _, as := range blockOf {
+		off := uint64(len(blocks.b))
+		for _, a := range as {
+			blocks.u8(uint8(a.Kind))
+			blocks.u8(uint8(a.Op))
+			blocks.u8(uint8(a.Strength))
+			blocks.u8(0)
+			blocks.u32(symID(a.Dst))
+			blocks.u32(pool.add(a.Loc.File))
+			blocks.i32(a.Loc.Line)
+		}
+		idx.u64(off)
+		idx.u32(uint32(len(as)))
+	}
+
+	// Function records.
+	funcs := &sections[secFuncs]
+	funcs.u32(uint32(len(prog.Funcs)))
+	for _, f := range prog.Funcs {
+		funcs.u32(symID(f.Func))
+		funcs.u32(symID(f.Ret))
+		if f.Variadic {
+			funcs.u8(1)
+		} else {
+			funcs.u8(0)
+		}
+		funcs.u8(0)
+		funcs.u8(0)
+		funcs.u8(0)
+		funcs.u32(uint32(len(f.Params)))
+		for _, p := range f.Params {
+			funcs.u32(symID(p))
+		}
+	}
+
+	// Target index: sorted (name, sym) pairs over named program objects.
+	type target struct {
+		name string
+		sym  prim.SymID
+	}
+	var targets []target
+	for i := range prog.Syms {
+		s := &prog.Syms[i]
+		if s.Name == "" || s.Kind == prim.SymTemp {
+			continue
+		}
+		targets = append(targets, target{s.Name, prim.SymID(i)})
+	}
+	sort.Slice(targets, func(i, j int) bool {
+		if targets[i].name != targets[j].name {
+			return targets[i].name < targets[j].name
+		}
+		return targets[i].sym < targets[j].sym
+	})
+	tsec := &sections[secTargets]
+	tsec.u32(uint32(len(targets)))
+	for _, t := range targets {
+		tsec.u32(pool.add(t.name))
+		tsec.u32(symID(t.sym))
+	}
+
+	sections[secStrings].b = pool.buf
+
+	// Header: magic, version, counts, section table.
+	var hdr secBuf
+	hdr.b = append(hdr.b, Magic...)
+	hdr.u32(Version)
+	counts := prog.CountByKind()
+	for _, c := range counts {
+		hdr.u64(uint64(c))
+	}
+	hdrSize := 4 + 4 + 8*prim.NumKinds + numSections*16
+	off := uint64(hdrSize)
+	for i := range sections {
+		hdr.u64(off)
+		hdr.u64(uint64(len(sections[i].b)))
+		off += uint64(len(sections[i].b))
+	}
+
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(hdr.b); err != nil {
+		return err
+	}
+	for i := range sections {
+		if _, err := bw.Write(sections[i].b); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteFile serializes prog to the named file.
+func WriteFile(path string, prog *prim.Program) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, prog); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

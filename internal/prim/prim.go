@@ -1,0 +1,395 @@
+// Package prim defines the primitive-assignment intermediate representation
+// shared by the compile, link and analyze phases of CLA.
+//
+// The compile phase breaks every C assignment, initializer, function call,
+// argument binding and return down into primitive assignments involving at
+// most one pointer operation. Exactly five kinds exist, matching the paper's
+// intermediate language:
+//
+//	x = y      (Simple)
+//	x = &y     (Base)
+//	*x = y     (StoreInd)
+//	x = *y     (LoadInd)
+//	*x = *y    (CopyInd)
+//
+// Each primitive assignment additionally records the strength of the C
+// operation it came from (Table 1 of the paper) and its source location, so
+// that the dependence analysis can rank and print chains.
+package prim
+
+import "fmt"
+
+// Kind identifies one of the five primitive assignment forms.
+type Kind uint8
+
+// The five primitive assignment kinds.
+const (
+	Simple   Kind = iota // x = y
+	Base                 // x = &y
+	StoreInd             // *x = y
+	LoadInd              // x = *y
+	CopyInd              // *x = *y
+	numKinds
+)
+
+// NumKinds is the number of distinct primitive assignment kinds.
+const NumKinds = int(numKinds)
+
+func (k Kind) String() string {
+	switch k {
+	case Simple:
+		return "x = y"
+	case Base:
+		return "x = &y"
+	case StoreInd:
+		return "*x = y"
+	case LoadInd:
+		return "x = *y"
+	case CopyInd:
+		return "*x = *y"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Valid reports whether k is one of the five defined kinds.
+func (k Kind) Valid() bool { return k < numKinds }
+
+// Strength classifies how strongly an operation propagates the shape and
+// size of its input data (Table 1). Dependencies through Strong operations
+// matter most for consistent type changes; None operations sever the
+// dependence entirely.
+type Strength uint8
+
+const (
+	// None: the operation's result range does not depend on the argument
+	// (e.g. !, &&, ||, or the shift amount of >>).
+	None Strength = iota
+	// Weak: the result range depends loosely on the argument
+	// (e.g. *, %, and the shifted operand of >> and <<).
+	Weak
+	// Strong: the result is shape/size preserving (e.g. +, -, |, &, ^,
+	// unary +/- and plain copies).
+	Strong
+)
+
+func (s Strength) String() string {
+	switch s {
+	case None:
+		return "none"
+	case Weak:
+		return "weak"
+	case Strong:
+		return "strong"
+	}
+	return fmt.Sprintf("Strength(%d)", uint8(s))
+}
+
+// Op identifies the C operation an assignment flowed through, for printing
+// dependence chains ("x = y+1" is more important than "x = y<<3").
+type Op uint8
+
+// Operations recorded on primitive assignments. OpCopy is a plain
+// assignment with no intervening operation.
+const (
+	OpCopy Op = iota
+	OpAdd     // +
+	OpSub     // -
+	OpOr      // |
+	OpAnd     // &
+	OpXor     // ^
+	OpMul     // *
+	OpDiv     // /
+	OpMod     // %
+	OpShr     // >>
+	OpShl     // <<
+	OpNeg     // unary -
+	OpPos     // unary +
+	OpNot     // !
+	OpLAnd    // &&
+	OpLOr     // ||
+	OpCmpl    // ~
+	OpCmp     // relational/equality operators
+	OpCast    // type cast
+	OpCond    // ?: merge
+	numOps
+)
+
+var opNames = [...]string{
+	OpCopy: "copy", OpAdd: "+", OpSub: "-", OpOr: "|", OpAnd: "&",
+	OpXor: "^", OpMul: "*", OpDiv: "/", OpMod: "%", OpShr: ">>",
+	OpShl: "<<", OpNeg: "u-", OpPos: "u+", OpNot: "!", OpLAnd: "&&",
+	OpLOr: "||", OpCmpl: "~", OpCmp: "cmp", OpCast: "cast", OpCond: "?:",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// StrengthOf returns the Table 1 classification for operand position arg
+// (0-based) of operation op. Positions beyond the table default to None.
+//
+//	+, -, |, &, ^      Strong / Strong
+//	*                  Weak / Weak
+//	%, >>, <<          Weak / None
+//	unary +, -         Strong
+//	&&, ||             None / None
+//	!                  None
+func StrengthOf(op Op, arg int) Strength {
+	switch op {
+	case OpCopy, OpCast, OpCond:
+		// ?: has two value arms; copies and casts have one operand.
+		if arg <= 1 {
+			return Strong
+		}
+	case OpAdd, OpSub, OpOr, OpAnd, OpXor:
+		if arg <= 1 {
+			return Strong
+		}
+	case OpMul:
+		if arg <= 1 {
+			return Weak
+		}
+	case OpDiv:
+		// Division behaves like % for its left operand: the result range
+		// depends loosely on the dividend, not at all on the divisor.
+		if arg == 0 {
+			return Weak
+		}
+	case OpMod, OpShr, OpShl:
+		if arg == 0 {
+			return Weak
+		}
+	case OpNeg, OpPos, OpCmpl:
+		if arg == 0 {
+			return Strong
+		}
+	case OpNot, OpLAnd, OpLOr, OpCmp:
+		return None
+	}
+	return None
+}
+
+// Loc is a source location.
+type Loc struct {
+	File string
+	Line int32
+}
+
+func (l Loc) String() string {
+	if l.File == "" {
+		return "<unknown>"
+	}
+	return fmt.Sprintf("%s:%d", l.File, l.Line)
+}
+
+// IsZero reports whether the location is unset.
+func (l Loc) IsZero() bool { return l.File == "" && l.Line == 0 }
+
+// SymID identifies a symbol within one object database. IDs are dense
+// indexes assigned by the compile phase and remapped by the linker.
+type SymID int32
+
+// NoSym is the zero SymID sentinel for "no symbol".
+const NoSym SymID = -1
+
+// SymKind classifies database symbols.
+type SymKind uint8
+
+// Symbol kinds. Linkage is determined by kind: Global, Field, Func and the
+// standardized Param/Ret symbols link across translation units by name;
+// Static, Local, Temp and Heap symbols are private to their unit.
+const (
+	SymGlobal SymKind = iota // file-scope object with external linkage
+	SymStatic                // file-scope object with internal linkage
+	SymLocal                 // function-scope object
+	SymField                 // struct/union field variable "S::f" (field-based mode)
+	SymTemp                  // compiler-introduced temporary
+	SymHeap                  // a static occurrence of malloc/calloc/...
+	SymFunc                  // a function
+	SymParam                 // standardized parameter "f$N"
+	SymRet                   // standardized return "f$ret"
+	SymString                // a string literal object (when modeled)
+	numSymKinds
+)
+
+// NumSymKinds is the number of distinct symbol kinds.
+const NumSymKinds = int(numSymKinds)
+
+var symKindNames = [...]string{
+	SymGlobal: "global", SymStatic: "static", SymLocal: "local",
+	SymField: "field", SymTemp: "temp", SymHeap: "heap",
+	SymFunc: "func", SymParam: "param", SymRet: "ret", SymString: "string",
+}
+
+func (k SymKind) String() string {
+	if int(k) < len(symKindNames) {
+		return symKindNames[k]
+	}
+	return fmt.Sprintf("SymKind(%d)", uint8(k))
+}
+
+// Linked reports whether symbols of this kind are merged across translation
+// units by name during the link phase.
+func (k SymKind) Linked() bool {
+	switch k {
+	case SymGlobal, SymField, SymFunc, SymParam, SymRet:
+		return true
+	}
+	return false
+}
+
+// Symbol is an object-database symbol: a program object the analysis can
+// compute facts about.
+type Symbol struct {
+	Name     string // source name, or synthesized (S::f, f$1, heap@file:line)
+	Kind     SymKind
+	Type     string // printable C type, for chain output
+	Loc      Loc    // declaration site
+	FuncName string // enclosing function for locals/temps/params
+	// FuncPtr marks symbols that are stored through as function pointers;
+	// the analyzer links argument/return variables when functions reach
+	// their points-to sets.
+	FuncPtr bool
+	// Internal forces internal linkage regardless of kind (e.g. static
+	// functions and their standardized parameter/return symbols).
+	Internal bool
+}
+
+// LinksByName reports whether the linker merges this symbol with
+// same-named symbols from other translation units.
+func (s *Symbol) LinksByName() bool { return s.Kind.Linked() && !s.Internal }
+
+func (s Symbol) String() string {
+	return fmt.Sprintf("%s/%s <%s>", s.Name, s.Type, s.Loc)
+}
+
+// Assign is one primitive assignment. Dst and Src identify the symbols on
+// each side; Kind says how they are related. For Base assignments Src is
+// the object whose address is taken.
+type Assign struct {
+	Kind     Kind
+	Dst      SymID
+	Src      SymID
+	Op       Op
+	Strength Strength
+	Loc      Loc
+}
+
+func (a Assign) String() string {
+	switch a.Kind {
+	case Simple:
+		return fmt.Sprintf("#%d = #%d", a.Dst, a.Src)
+	case Base:
+		return fmt.Sprintf("#%d = &#%d", a.Dst, a.Src)
+	case StoreInd:
+		return fmt.Sprintf("*#%d = #%d", a.Dst, a.Src)
+	case LoadInd:
+		return fmt.Sprintf("#%d = *#%d", a.Dst, a.Src)
+	case CopyInd:
+		return fmt.Sprintf("*#%d = *#%d", a.Dst, a.Src)
+	}
+	return fmt.Sprintf("invalid assign kind %d", a.Kind)
+}
+
+// FuncRecord describes a function's standardized parameter and return
+// symbols; the analyzer uses it to link indirect calls.
+type FuncRecord struct {
+	Func     SymID   // the SymFunc symbol
+	Params   []SymID // f$1, f$2, ... in order
+	Ret      SymID   // f$ret (NoSym for void functions)
+	Variadic bool
+}
+
+// Program is the fully in-memory form of an object database, used as the
+// interchange value between the frontend, the object-file writer and tests.
+// The analyzer normally works from an objfile.Reader instead so that it can
+// demand-load blocks.
+type Program struct {
+	Syms    []Symbol
+	Assigns []Assign
+	Funcs   []FuncRecord
+}
+
+// AddSym appends a symbol and returns its id.
+func (p *Program) AddSym(s Symbol) SymID {
+	p.Syms = append(p.Syms, s)
+	return SymID(len(p.Syms) - 1)
+}
+
+// AddAssign appends a primitive assignment.
+func (p *Program) AddAssign(a Assign) { p.Assigns = append(p.Assigns, a) }
+
+// Sym returns the symbol for id. It panics on out-of-range ids, which
+// indicate database corruption caught earlier by the objfile reader.
+func (p *Program) Sym(id SymID) *Symbol { return &p.Syms[id] }
+
+// CountByKind tallies assignments per kind, the statistic reported in
+// Table 2 of the paper.
+func (p *Program) CountByKind() [NumKinds]int {
+	var n [NumKinds]int
+	for _, a := range p.Assigns {
+		n[a.Kind]++
+	}
+	return n
+}
+
+// SymIDByName returns the first symbol with the given name, or NoSym.
+// Intended for tests and small tools; the objfile target section provides
+// the indexed lookup used by the real analyzer.
+func (p *Program) SymIDByName(name string) SymID {
+	for i := range p.Syms {
+		if p.Syms[i].Name == name {
+			return SymID(i)
+		}
+	}
+	return NoSym
+}
+
+// Validate checks the program's internal consistency: every assignment and
+// function record references in-range symbols, kinds are well-formed, and
+// function records reference function or function-pointer symbols. The
+// linker and the transformers run it in tests to catch id-remapping bugs.
+func (p *Program) Validate() error {
+	n := SymID(len(p.Syms))
+	checkID := func(what string, id SymID) error {
+		if id < 0 || id >= n {
+			return fmt.Errorf("prim: %s references symbol %d of %d", what, id, n)
+		}
+		return nil
+	}
+	for i := range p.Syms {
+		if int(p.Syms[i].Kind) >= NumSymKinds {
+			return fmt.Errorf("prim: symbol %d has kind %d", i, p.Syms[i].Kind)
+		}
+	}
+	for i, a := range p.Assigns {
+		if !a.Kind.Valid() {
+			return fmt.Errorf("prim: assignment %d has kind %d", i, a.Kind)
+		}
+		if err := checkID(fmt.Sprintf("assignment %d dst", i), a.Dst); err != nil {
+			return err
+		}
+		if err := checkID(fmt.Sprintf("assignment %d src", i), a.Src); err != nil {
+			return err
+		}
+	}
+	for i, f := range p.Funcs {
+		if err := checkID(fmt.Sprintf("func record %d", i), f.Func); err != nil {
+			return err
+		}
+		for j, prm := range f.Params {
+			if err := checkID(fmt.Sprintf("func record %d param %d", i, j), prm); err != nil {
+				return err
+			}
+		}
+		if f.Ret != NoSym {
+			if err := checkID(fmt.Sprintf("func record %d ret", i), f.Ret); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,202 @@
+package prim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := []struct {
+		k    Kind
+		want string
+	}{
+		{Simple, "x = y"},
+		{Base, "x = &y"},
+		{StoreInd, "*x = y"},
+		{LoadInd, "x = *y"},
+		{CopyInd, "*x = *y"},
+	}
+	for _, c := range cases {
+		if got := c.k.String(); got != c.want {
+			t.Errorf("Kind(%d).String() = %q, want %q", c.k, got, c.want)
+		}
+		if !c.k.Valid() {
+			t.Errorf("Kind(%d).Valid() = false, want true", c.k)
+		}
+	}
+	if Kind(99).Valid() {
+		t.Error("Kind(99).Valid() = true, want false")
+	}
+}
+
+// TestStrengthTable1 checks every row of the paper's Table 1.
+func TestStrengthTable1(t *testing.T) {
+	cases := []struct {
+		op Op
+		a0 Strength
+		a1 Strength
+	}{
+		{OpAdd, Strong, Strong},
+		{OpSub, Strong, Strong},
+		{OpOr, Strong, Strong},
+		{OpAnd, Strong, Strong},
+		{OpXor, Strong, Strong},
+		{OpMul, Weak, Weak},
+		{OpMod, Weak, None},
+		{OpShr, Weak, None},
+		{OpShl, Weak, None},
+		{OpNeg, Strong, None},
+		{OpPos, Strong, None},
+		{OpLAnd, None, None},
+		{OpLOr, None, None},
+		{OpNot, None, None},
+	}
+	for _, c := range cases {
+		if got := StrengthOf(c.op, 0); got != c.a0 {
+			t.Errorf("StrengthOf(%v, 0) = %v, want %v", c.op, got, c.a0)
+		}
+		if got := StrengthOf(c.op, 1); got != c.a1 {
+			t.Errorf("StrengthOf(%v, 1) = %v, want %v", c.op, got, c.a1)
+		}
+	}
+}
+
+func TestStrengthOfCopyAndCast(t *testing.T) {
+	for _, op := range []Op{OpCopy, OpCast, OpCond} {
+		if got := StrengthOf(op, 0); got != Strong {
+			t.Errorf("StrengthOf(%v, 0) = %v, want Strong", op, got)
+		}
+	}
+}
+
+func TestStrengthOfOutOfRangeArg(t *testing.T) {
+	if got := StrengthOf(OpAdd, 5); got != None {
+		t.Errorf("StrengthOf(OpAdd, 5) = %v, want None", got)
+	}
+}
+
+func TestLocString(t *testing.T) {
+	l := Loc{File: "a.c", Line: 12}
+	if got := l.String(); got != "a.c:12" {
+		t.Errorf("Loc.String() = %q, want %q", got, "a.c:12")
+	}
+	var zero Loc
+	if !zero.IsZero() {
+		t.Error("zero Loc.IsZero() = false")
+	}
+	if got := zero.String(); got != "<unknown>" {
+		t.Errorf("zero Loc.String() = %q", got)
+	}
+}
+
+func TestSymKindLinked(t *testing.T) {
+	linked := map[SymKind]bool{
+		SymGlobal: true, SymField: true, SymFunc: true,
+		SymParam: true, SymRet: true,
+		SymStatic: false, SymLocal: false, SymTemp: false,
+		SymHeap: false, SymString: false,
+	}
+	for k, want := range linked {
+		if got := k.Linked(); got != want {
+			t.Errorf("%v.Linked() = %v, want %v", k, got, want)
+		}
+	}
+}
+
+func TestProgramAddAndCount(t *testing.T) {
+	var p Program
+	x := p.AddSym(Symbol{Name: "x", Kind: SymGlobal})
+	y := p.AddSym(Symbol{Name: "y", Kind: SymGlobal})
+	p.AddAssign(Assign{Kind: Simple, Dst: x, Src: y})
+	p.AddAssign(Assign{Kind: Base, Dst: x, Src: y})
+	p.AddAssign(Assign{Kind: Base, Dst: y, Src: x})
+
+	n := p.CountByKind()
+	if n[Simple] != 1 || n[Base] != 2 || n[StoreInd] != 0 {
+		t.Errorf("CountByKind = %v", n)
+	}
+	if got := p.SymIDByName("y"); got != y {
+		t.Errorf("SymIDByName(y) = %d, want %d", got, y)
+	}
+	if got := p.SymIDByName("missing"); got != NoSym {
+		t.Errorf("SymIDByName(missing) = %d, want NoSym", got)
+	}
+	if p.Sym(x).Name != "x" {
+		t.Errorf("Sym(x).Name = %q", p.Sym(x).Name)
+	}
+}
+
+func TestAssignString(t *testing.T) {
+	cases := []struct {
+		a    Assign
+		want string
+	}{
+		{Assign{Kind: Simple, Dst: 1, Src: 2}, "#1 = #2"},
+		{Assign{Kind: Base, Dst: 1, Src: 2}, "#1 = &#2"},
+		{Assign{Kind: StoreInd, Dst: 1, Src: 2}, "*#1 = #2"},
+		{Assign{Kind: LoadInd, Dst: 1, Src: 2}, "#1 = *#2"},
+		{Assign{Kind: CopyInd, Dst: 1, Src: 2}, "*#1 = *#2"},
+	}
+	for _, c := range cases {
+		if got := c.a.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+// Property: StrengthOf never exceeds Strong and is None for any argument
+// position >= 2, for all operations.
+func TestStrengthOfProperty(t *testing.T) {
+	f := func(op uint8, arg uint8) bool {
+		s := StrengthOf(Op(op%uint8(numOps)), int(arg))
+		if s > Strong {
+			return false
+		}
+		if arg >= 2 && s != None {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: symbol String always embeds the name.
+func TestSymbolStringProperty(t *testing.T) {
+	s := Symbol{Name: "count", Type: "short", Loc: Loc{File: "eg1.c", Line: 3}}
+	want := "count/short <eg1.c:3>"
+	if got := s.String(); got != want {
+		t.Errorf("Symbol.String() = %q, want %q", got, want)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	var p Program
+	x := p.AddSym(Symbol{Name: "x", Kind: SymGlobal})
+	y := p.AddSym(Symbol{Name: "y", Kind: SymGlobal})
+	p.AddAssign(Assign{Kind: Simple, Dst: x, Src: y})
+	p.Funcs = append(p.Funcs, FuncRecord{Func: x, Params: []SymID{y}, Ret: NoSym})
+	if err := p.Validate(); err != nil {
+		t.Errorf("valid program rejected: %v", err)
+	}
+
+	bad := p
+	bad.Assigns = append([]Assign(nil), p.Assigns...)
+	bad.Assigns = append(bad.Assigns, Assign{Kind: Simple, Dst: 99, Src: y})
+	if bad.Validate() == nil {
+		t.Error("out-of-range dst accepted")
+	}
+
+	bad2 := p
+	bad2.Funcs = []FuncRecord{{Func: 99}}
+	if bad2.Validate() == nil {
+		t.Error("bad func record accepted")
+	}
+
+	bad3 := p
+	bad3.Assigns = []Assign{{Kind: Kind(42), Dst: x, Src: y}}
+	if bad3.Validate() == nil {
+		t.Error("bad kind accepted")
+	}
+}

@@ -1,0 +1,185 @@
+package onelevel
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"cla/internal/core"
+	"cla/internal/frontend"
+	"cla/internal/prim"
+	"cla/internal/pts"
+	"cla/internal/pts/steens"
+)
+
+func solve(t *testing.T, src string) (*prim.Program, *Result) {
+	t.Helper()
+	p, err := frontend.CompileSource("t.c", src, nil, frontend.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Solve(pts.NewMemSource(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, r
+}
+
+func ptsNames(p *prim.Program, r pts.Result, name string) map[string]bool {
+	out := map[string]bool{}
+	for _, z := range r.PointsTo(p.SymIDByName(name)) {
+		out[p.Sym(z).Name] = true
+	}
+	return out
+}
+
+func TestBasicFlow(t *testing.T) {
+	p, r := solve(t, "int a, *x, *y; void m(void) { x = &a; y = x; }")
+	if got := ptsNames(p, r, "y"); !got["a"] {
+		t.Errorf("pts(y) = %v", got)
+	}
+}
+
+// The defining improvement over Steensgaard: x = y does not merge
+// backwards, so y keeps its smaller set.
+func TestDirectionalityBeatsSteensgaard(t *testing.T) {
+	src := `int a, b, *x, *y;
+void m(void) { x = &a; y = &b; x = y; }`
+	p, r := solve(t, src)
+	gotY := ptsNames(p, r, "y")
+	if gotY["a"] {
+		t.Errorf("pts(y) = %v: one-level flow must not merge backwards", gotY)
+	}
+	gotX := ptsNames(p, r, "x")
+	if !gotX["a"] || !gotX["b"] {
+		t.Errorf("pts(x) = %v", gotX)
+	}
+	// Confirm Steensgaard does conflate (the test premise).
+	pp, err := frontend.CompileSource("t.c", src, nil, frontend.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := steens.Solve(pts.NewMemSource(pp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ptsNames(pp, sr, "y"); !got["a"] {
+		t.Errorf("expected steensgaard to conflate; got %v", got)
+	}
+}
+
+// Below the top level, stored values unify (the one-level part):
+// storing &a and &b through pointers to the same location merges a and b.
+func TestStoreUnifiesBelow(t *testing.T) {
+	src := `int a, b, cell;
+int *pa, *pb, **p;
+int *ra;
+void m(void) {
+	p = &pa;
+	*p = &a;
+	*p = &b;
+	ra = *p;
+}`
+	p, r := solve(t, src)
+	got := ptsNames(p, r, "ra")
+	if !got["a"] || !got["b"] {
+		t.Errorf("pts(ra) = %v", got)
+	}
+	_ = got
+}
+
+func TestLoadStore(t *testing.T) {
+	p, r := solve(t, `int v, *a, *b, **pp;
+void m(void) { pp = &a; *pp = &v; b = *pp; }`)
+	if got := ptsNames(p, r, "b"); !got["v"] {
+		t.Errorf("pts(b) = %v", got)
+	}
+}
+
+func TestCopyIndirect(t *testing.T) {
+	p, r := solve(t, `int v, *a, *b, **p, **q;
+void m(void) { p = &a; q = &b; a = &v; *q = *p; }`)
+	if got := ptsNames(p, r, "b"); !got["v"] {
+		t.Errorf("pts(b) = %v", got)
+	}
+}
+
+func TestIndirectCalls(t *testing.T) {
+	p, r := solve(t, `int obj;
+int *id(int *a) { return a; }
+int *(*fp)(int *);
+int *res;
+void m(void) { fp = id; res = fp(&obj); }`)
+	if got := ptsNames(p, r, "res"); !got["obj"] {
+		t.Errorf("pts(res) = %v", got)
+	}
+}
+
+// Soundness on random programs: Andersen ⊆ one-level flow (every fact the
+// exact subset analysis derives is present). The upper bound against
+// Steensgaard is intentionally not asserted: the simplified below-level
+// model is usually tighter but not pointwise comparable.
+func TestPrecisionSandwich(t *testing.T) {
+	for seed := int64(0); seed < 150; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		prog := &prim.Program{}
+		nsyms := 4 + rng.Intn(14)
+		for i := 0; i < nsyms; i++ {
+			prog.AddSym(prim.Symbol{Name: fmt.Sprintf("v%d", i), Kind: prim.SymGlobal})
+		}
+		for i := 0; i < 5+rng.Intn(35); i++ {
+			prog.AddAssign(prim.Assign{
+				Kind: prim.Kind(rng.Intn(prim.NumKinds)),
+				Dst:  prim.SymID(rng.Intn(nsyms)),
+				Src:  prim.SymID(rng.Intn(nsyms)),
+			})
+		}
+		exact, err := core.Solve(pts.NewMemSource(prog), core.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		olf, err := Solve(pts.NewMemSource(prog))
+		if err != nil {
+			t.Fatal(err)
+		}
+		uni, err := steens.Solve(pts.NewMemSource(prog))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < nsyms; i++ {
+			id := prim.SymID(i)
+			a := toSet(exact.PointsTo(id))
+			o := toSet(olf.PointsTo(id))
+			u := toSet(uni.PointsTo(id))
+			for z := range a {
+				if !o[z] {
+					t.Fatalf("seed %d: olf pts(v%d) missing %v (andersen has it)", seed, i, z)
+				}
+			}
+			_ = u
+		}
+	}
+}
+
+func toSet(ids []prim.SymID) map[prim.SymID]bool {
+	out := map[prim.SymID]bool{}
+	for _, id := range ids {
+		out[id] = true
+	}
+	return out
+}
+
+func TestMetrics(t *testing.T) {
+	_, r := solve(t, "int v, *p, **q; void m(void) { p = &v; q = &p; *q = p; }")
+	m := r.Metrics()
+	if m.PointerVars == 0 || m.Relations == 0 || m.InFile == 0 {
+		t.Errorf("metrics = %+v", m)
+	}
+}
+
+func TestOutOfRange(t *testing.T) {
+	_, r := solve(t, "int x;")
+	if got := r.PointsTo(999); got != nil {
+		t.Errorf("PointsTo = %v", got)
+	}
+}

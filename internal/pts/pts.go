@@ -1,0 +1,193 @@
+// Package pts defines the solver-independent interface to points-to
+// analysis: the Source abstraction over assignment databases (in-memory
+// programs or demand-loaded object files), the Result interface produced
+// by every solver, and the metrics reported in the paper's Table 3.
+package pts
+
+import (
+	"sort"
+
+	"cla/internal/objfile"
+	"cla/internal/prim"
+)
+
+// Source supplies primitive assignments to a solver. The static section
+// (address-of assignments) is always loaded; all other assignments are
+// organized into per-source blocks that can be loaded on demand.
+type Source interface {
+	// NumSyms returns the number of symbols in the database.
+	NumSyms() int
+	// Sym returns symbol metadata.
+	Sym(id prim.SymID) *prim.Symbol
+	// Statics returns every address-of assignment (x = &y).
+	Statics() ([]prim.Assign, error)
+	// Block returns the non-base assignments whose source is sym.
+	Block(sym prim.SymID) ([]prim.Assign, error)
+	// BlockLen returns len(Block(sym)) without loading it.
+	BlockLen(sym prim.SymID) int
+	// Funcs returns the function records for call linking.
+	Funcs() []prim.FuncRecord
+	// Counts returns per-kind assignment totals (the in-file numbers).
+	Counts() [prim.NumKinds]int
+}
+
+// Result is the outcome of a points-to analysis.
+type Result interface {
+	// PointsTo returns the sorted set of objects sym may point to.
+	PointsTo(sym prim.SymID) []prim.SymID
+	// Metrics returns solver statistics.
+	Metrics() Metrics
+}
+
+// Metrics mirrors the measurement columns of the paper's Table 3 plus
+// solver internals useful for the ablation study.
+type Metrics struct {
+	// PointerVars counts program objects (variables and fields, not
+	// analysis temporaries) with non-empty points-to sets.
+	PointerVars int
+	// Relations is the total size of all program objects' points-to sets.
+	Relations int
+	// InCore is the number of assignments retained in memory at the end
+	// of the analysis (complex assignments under the discard strategy).
+	InCore int
+	// Loaded is the number of assignments read from the database,
+	// counting re-loads.
+	Loaded int
+	// InFile is the total number of assignments in the database.
+	InFile int
+	// Passes is the number of iterations of the outer fixpoint.
+	Passes int
+	// Unifications counts cycle-elimination node merges.
+	Unifications int
+	// CacheHits and CacheMisses count reachability cache behaviour.
+	CacheHits, CacheMisses int64
+	// EdgesAdded counts graph edge insertions.
+	EdgesAdded int
+}
+
+// CountedAsPointerVar reports whether a symbol of kind k counts as a
+// "pointer variable" in Table 3 (program variables and fields; analysis
+// temporaries, standardized params/returns, functions and heap objects are
+// excluded, matching the paper's accounting).
+func CountedAsPointerVar(k prim.SymKind) bool {
+	switch k {
+	case prim.SymGlobal, prim.SymStatic, prim.SymLocal, prim.SymField:
+		return true
+	}
+	return false
+}
+
+// ---------- Sources ----------
+
+// MemSource adapts an in-memory Program to the Source interface.
+type MemSource struct {
+	P      *prim.Program
+	blocks [][]prim.Assign
+	static []prim.Assign
+}
+
+// NewMemSource indexes prog by assignment source.
+func NewMemSource(prog *prim.Program) *MemSource {
+	s := &MemSource{P: prog, blocks: make([][]prim.Assign, len(prog.Syms))}
+	for _, a := range prog.Assigns {
+		if a.Kind == prim.Base {
+			s.static = append(s.static, a)
+			continue
+		}
+		s.blocks[a.Src] = append(s.blocks[a.Src], a)
+	}
+	return s
+}
+
+// NumSyms implements Source.
+func (s *MemSource) NumSyms() int { return len(s.P.Syms) }
+
+// Sym implements Source.
+func (s *MemSource) Sym(id prim.SymID) *prim.Symbol { return &s.P.Syms[id] }
+
+// Statics implements Source.
+func (s *MemSource) Statics() ([]prim.Assign, error) { return s.static, nil }
+
+// Block implements Source.
+func (s *MemSource) Block(sym prim.SymID) ([]prim.Assign, error) {
+	if int(sym) < 0 || int(sym) >= len(s.blocks) {
+		return nil, nil
+	}
+	return s.blocks[sym], nil
+}
+
+// BlockLen implements Source.
+func (s *MemSource) BlockLen(sym prim.SymID) int {
+	if int(sym) < 0 || int(sym) >= len(s.blocks) {
+		return 0
+	}
+	return len(s.blocks[sym])
+}
+
+// Funcs implements Source.
+func (s *MemSource) Funcs() []prim.FuncRecord { return s.P.Funcs }
+
+// Counts implements Source.
+func (s *MemSource) Counts() [prim.NumKinds]int { return s.P.CountByKind() }
+
+// FileSource adapts an objfile.Reader to the Source interface, preserving
+// its demand-loading behaviour.
+type FileSource struct {
+	R *objfile.Reader
+}
+
+// NumSyms implements Source.
+func (s *FileSource) NumSyms() int { return s.R.NumSyms() }
+
+// Sym implements Source.
+func (s *FileSource) Sym(id prim.SymID) *prim.Symbol { return s.R.Sym(id) }
+
+// Statics implements Source.
+func (s *FileSource) Statics() ([]prim.Assign, error) { return s.R.Statics() }
+
+// Block implements Source.
+func (s *FileSource) Block(sym prim.SymID) ([]prim.Assign, error) {
+	entries, err := s.R.Block(sym)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]prim.Assign, len(entries))
+	for i, e := range entries {
+		out[i] = e.Assign(sym)
+	}
+	return out, nil
+}
+
+// BlockLen implements Source.
+func (s *FileSource) BlockLen(sym prim.SymID) int { return s.R.BlockLen(sym) }
+
+// Funcs implements Source.
+func (s *FileSource) Funcs() []prim.FuncRecord { return s.R.Funcs() }
+
+// Counts implements Source.
+func (s *FileSource) Counts() [prim.NumKinds]int { return s.R.Counts() }
+
+// ---------- helpers shared by solvers and tests ----------
+
+// SortSyms sorts a symbol id slice in place and returns it.
+func SortSyms(ids []prim.SymID) []prim.SymID {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// SumRelations computes (PointerVars, Relations) for a result over src.
+func SumRelations(src Source, r Result) (int, int) {
+	vars, rels := 0, 0
+	for i := 0; i < src.NumSyms(); i++ {
+		id := prim.SymID(i)
+		if !CountedAsPointerVar(src.Sym(id).Kind) {
+			continue
+		}
+		n := len(r.PointsTo(id))
+		if n > 0 {
+			vars++
+			rels += n
+		}
+	}
+	return vars, rels
+}

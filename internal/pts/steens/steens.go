@@ -1,0 +1,292 @@
+// Package steens implements Steensgaard's unification-based points-to
+// analysis (POPL'96) over the CLA database, as a fast/imprecise comparison
+// point: each assignment unifies equivalence classes instead of adding
+// subset constraints, giving the almost-linear-time behaviour the paper
+// contrasts Andersen's analysis with.
+package steens
+
+import (
+	"sort"
+
+	"cla/internal/prim"
+	"cla/internal/pts"
+)
+
+type solver struct {
+	src pts.Source
+
+	parent []int32
+	rank   []int8
+	// ptOf[c] is the class a representative c points to (-1 none).
+	ptOf []int32
+	// members[c] lists object symbols in class c (merged on union).
+	members [][]prim.SymID
+	// funcsIn[c] lists function symbols whose address is in class c.
+	funcsIn [][]int32
+
+	recOfFunc map[int32]*prim.FuncRecord
+	ptrRecs   []*prim.FuncRecord
+
+	m pts.Metrics
+}
+
+// Result is the solved unification relation.
+type Result struct {
+	s *solver
+}
+
+// Solve runs the unification analysis.
+func Solve(src pts.Source) (*Result, error) {
+	n := src.NumSyms()
+	s := &solver{
+		src:       src,
+		parent:    make([]int32, n),
+		rank:      make([]int8, n),
+		ptOf:      make([]int32, n),
+		members:   make([][]prim.SymID, n),
+		funcsIn:   make([][]int32, n),
+		recOfFunc: map[int32]*prim.FuncRecord{},
+	}
+	for i := 0; i < n; i++ {
+		s.parent[i] = int32(i)
+		s.ptOf[i] = -1
+		s.members[i] = []prim.SymID{prim.SymID(i)}
+	}
+	funcs := src.Funcs()
+	for i := range funcs {
+		f := &funcs[i]
+		if src.Sym(f.Func).Kind == prim.SymFunc {
+			s.recOfFunc[int32(f.Func)] = f
+		}
+		if src.Sym(f.Func).FuncPtr {
+			s.ptrRecs = append(s.ptrRecs, f)
+		}
+	}
+
+	statics, err := src.Statics()
+	if err != nil {
+		return nil, err
+	}
+	s.m.Loaded += len(statics)
+	for _, a := range statics {
+		// x = &y: class(y) joins pt(x).
+		s.joinPt(int32(a.Dst), s.find(int32(a.Src)))
+		if src.Sym(a.Src).Kind == prim.SymFunc {
+			c := s.find(int32(a.Src))
+			s.addFunc(c, int32(a.Src))
+		}
+	}
+	for i := 0; i < n; i++ {
+		block, err := src.Block(prim.SymID(i))
+		if err != nil {
+			return nil, err
+		}
+		s.m.Loaded += len(block)
+		for _, a := range block {
+			d, y := int32(a.Dst), int32(a.Src)
+			switch a.Kind {
+			case prim.Simple: // d = y: pt(d) ~ pt(y)
+				s.unifyPts(d, y)
+			case prim.LoadInd: // d = *y: pt(d) ~ pt(pt(y))
+				s.unifyPts(d, s.ptClass(y))
+			case prim.StoreInd: // *d = y: pt(pt(d)) ~ pt(y)
+				s.unifyPts(s.ptClass(d), y)
+			case prim.CopyInd: // *d = *y: pt(pt(d)) ~ pt(pt(y))
+				s.unifyPts(s.ptClass(d), s.ptClass(y))
+			case prim.Base:
+				s.joinPt(d, s.find(y))
+			}
+		}
+	}
+
+	// Indirect call linking to fixpoint: linking unifies classes which may
+	// bring more functions into pointer classes.
+	for changed := true; changed; {
+		changed = false
+		s.m.Passes++
+		for _, r := range s.ptrRecs {
+			pc := s.ptOf[s.find(int32(r.Func))]
+			if pc < 0 {
+				continue
+			}
+			pc = s.find(pc)
+			for _, g := range append([]int32(nil), s.funcsIn[pc]...) {
+				rec, ok := s.recOfFunc[s.find(g)]
+				if !ok {
+					rec, ok = s.recOfFunc[g]
+				}
+				if !ok {
+					continue
+				}
+				np := len(r.Params)
+				if len(rec.Params) < np {
+					np = len(rec.Params)
+				}
+				for i := 0; i < np; i++ {
+					if s.unifyPts(int32(rec.Params[i]), int32(r.Params[i])) {
+						changed = true
+					}
+				}
+				if r.Ret != prim.NoSym && rec.Ret != prim.NoSym {
+					if s.unifyPts(int32(r.Ret), int32(rec.Ret)) {
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	counts := src.Counts()
+	for _, c := range counts {
+		s.m.InFile += c
+	}
+	res := &Result{s: s}
+	// Count metrics directly from class sizes: materializing each
+	// variable's set (as pts.SumRelations would) is quadratic when
+	// unification has produced big classes.
+	for i := 0; i < n; i++ {
+		if !pts.CountedAsPointerVar(src.Sym(prim.SymID(i)).Kind) {
+			continue
+		}
+		c := s.find(int32(i))
+		p := s.ptOf[c]
+		if p < 0 {
+			continue
+		}
+		if sz := len(s.members[s.find(p)]); sz > 0 {
+			s.m.PointerVars++
+			s.m.Relations += sz
+		}
+	}
+	return res, nil
+}
+
+// find with path compression.
+func (s *solver) find(v int32) int32 {
+	for s.parent[v] != v {
+		s.parent[v] = s.parent[s.parent[v]]
+		v = s.parent[v]
+	}
+	return v
+}
+
+// unifyClasses merges two classes (and, recursively, their pointees).
+func (s *solver) unifyClasses(a, b int32) int32 {
+	if a < 0 {
+		return b
+	}
+	if b < 0 {
+		return a
+	}
+	a, b = s.find(a), s.find(b)
+	if a == b {
+		return a
+	}
+	if s.rank[a] < s.rank[b] {
+		a, b = b, a
+	} else if s.rank[a] == s.rank[b] {
+		s.rank[a]++
+	}
+	// b into a.
+	s.parent[b] = a
+	s.members[a] = append(s.members[a], s.members[b]...)
+	s.members[b] = nil
+	s.funcsIn[a] = append(s.funcsIn[a], s.funcsIn[b]...)
+	s.funcsIn[b] = nil
+	pa, pb := s.ptOf[a], s.ptOf[b]
+	s.ptOf[b] = -1
+	if pa >= 0 && pb >= 0 {
+		s.ptOf[a] = s.unifyClasses(pa, pb)
+	} else if pb >= 0 {
+		s.ptOf[a] = pb
+	}
+	s.m.Unifications++
+	return a
+}
+
+// ptClass returns (creating via a fresh virtual class if needed) the class
+// pointed to by v's class.
+func (s *solver) ptClass(v int32) int32 {
+	if v < 0 {
+		return -1
+	}
+	c := s.find(v)
+	if s.ptOf[c] < 0 {
+		s.ptOf[c] = s.newClass()
+	}
+	return s.find(s.ptOf[c])
+}
+
+func (s *solver) newClass() int32 {
+	id := int32(len(s.parent))
+	s.parent = append(s.parent, id)
+	s.rank = append(s.rank, 0)
+	s.ptOf = append(s.ptOf, -1)
+	s.members = append(s.members, nil)
+	s.funcsIn = append(s.funcsIn, nil)
+	return id
+}
+
+// joinPt makes class c a member of pt(x)'s class.
+func (s *solver) joinPt(x, c int32) {
+	xc := s.find(x)
+	if s.ptOf[xc] < 0 {
+		s.ptOf[xc] = c
+		return
+	}
+	s.ptOf[xc] = s.unifyClasses(s.ptOf[xc], c)
+}
+
+// unifyPts implements d = y: unify pt(d) with pt(y) (directional flow is
+// approximated by unification — the source of Steensgaard's imprecision).
+// Pointee classes are materialized eagerly so that later joins against
+// either side propagate to both. Reports whether anything merged.
+func (s *solver) unifyPts(d, y int32) bool {
+	pd := s.ptClass(d)
+	py := s.ptClass(y)
+	if s.find(pd) == s.find(py) {
+		return false
+	}
+	merged := s.unifyClasses(pd, py)
+	s.ptOf[s.find(d)] = merged
+	s.ptOf[s.find(y)] = merged
+	return true
+}
+
+func (s *solver) addFunc(class, fn int32) {
+	c := s.find(class)
+	s.funcsIn[c] = append(s.funcsIn[c], fn)
+}
+
+// PointsTo returns every object in the class pointed to by sym's class.
+func (r *Result) PointsTo(sym prim.SymID) []prim.SymID {
+	s := r.s
+	if int(sym) < 0 || int(sym) >= s.src.NumSyms() {
+		return nil
+	}
+	c := s.find(int32(sym))
+	p := s.ptOf[c]
+	if p < 0 {
+		return nil
+	}
+	p = s.find(p)
+	out := make([]prim.SymID, 0, len(s.members[p]))
+	for _, m := range s.members[p] {
+		if int(m) < s.src.NumSyms() {
+			out = append(out, m)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	// Dedup.
+	w := 0
+	for i, v := range out {
+		if i == 0 || v != out[w-1] {
+			out[w] = v
+			w++
+		}
+	}
+	return out[:w]
+}
+
+// Metrics implements pts.Result.
+func (r *Result) Metrics() pts.Metrics { return r.s.m }

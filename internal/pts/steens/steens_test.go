@@ -1,0 +1,113 @@
+package steens
+
+import (
+	"testing"
+
+	"cla/internal/frontend"
+	"cla/internal/prim"
+	"cla/internal/pts"
+)
+
+func solve(t *testing.T, src string) (*prim.Program, *Result) {
+	t.Helper()
+	p, err := frontend.CompileSource("t.c", src, nil, frontend.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Solve(pts.NewMemSource(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, r
+}
+
+func ptsNames(p *prim.Program, r *Result, name string) map[string]bool {
+	out := map[string]bool{}
+	for _, z := range r.PointsTo(p.SymIDByName(name)) {
+		out[p.Sym(z).Name] = true
+	}
+	return out
+}
+
+func TestBasic(t *testing.T) {
+	p, r := solve(t, "int a, *x, *y; void m(void) { x = &a; y = x; }")
+	if got := ptsNames(p, r, "y"); !got["a"] {
+		t.Errorf("pts(y) = %v", got)
+	}
+}
+
+func TestUnificationMergesBackwards(t *testing.T) {
+	// The signature imprecision: x = y unifies, so x's targets flow
+	// "backwards" into y.
+	p, r := solve(t, `int a, b, *x, *y;
+void m(void) { x = &a; y = &b; x = y; }`)
+	got := ptsNames(p, r, "y")
+	if !got["a"] || !got["b"] {
+		t.Errorf("pts(y) = %v, unification should merge both", got)
+	}
+}
+
+func TestStoreLoad(t *testing.T) {
+	p, r := solve(t, `int v, *a, *b, **pp;
+void m(void) { pp = &a; *pp = &v; b = *pp; }`)
+	if got := ptsNames(p, r, "b"); !got["v"] {
+		t.Errorf("pts(b) = %v", got)
+	}
+}
+
+func TestIndirectCall(t *testing.T) {
+	p, r := solve(t, `int obj;
+int *id(int *a) { return a; }
+int *(*fp)(int *);
+int *res;
+void m(void) { fp = id; res = fp(&obj); }`)
+	if got := ptsNames(p, r, "res"); !got["obj"] {
+		t.Errorf("pts(res) = %v", got)
+	}
+}
+
+func TestAlmostLinearOnChains(t *testing.T) {
+	// A long chain must not blow up: each assignment is O(α).
+	src := "int v;\nint *p0;\n"
+	body := "p0 = &v;\n"
+	prev := "p0"
+	for i := 1; i < 200; i++ {
+		src += "int *p" + itoa(i) + ";\n"
+		body += "p" + itoa(i) + " = " + prev + ";\n"
+		prev = "p" + itoa(i)
+	}
+	p, r := solve(t, src+"void m(void) {\n"+body+"}\n")
+	if got := ptsNames(p, r, "p199"); !got["v"] {
+		t.Errorf("pts(p199) = %v", got)
+	}
+	if m := r.Metrics(); m.Relations == 0 {
+		t.Error("no relations")
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}
+
+func TestPointsToOutOfRange(t *testing.T) {
+	_, r := solve(t, "int x;")
+	if got := r.PointsTo(999); got != nil {
+		t.Errorf("PointsTo = %v", got)
+	}
+}
+
+func TestMetricsCheap(t *testing.T) {
+	_, r := solve(t, "int a, *p, *q; void m(void) { p = &a; q = p; }")
+	m := r.Metrics()
+	if m.PointerVars == 0 || m.Relations == 0 {
+		t.Errorf("metrics = %+v", m)
+	}
+}

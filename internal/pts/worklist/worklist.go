@@ -1,0 +1,270 @@
+// Package worklist implements the classic transitively-closed worklist
+// algorithm for Andersen's points-to analysis, the baseline the paper's
+// pre-transitive algorithm is compared against (the style of Fähndrich et
+// al.'s base algorithm): points-to sets are propagated along inclusion
+// edges until fixpoint, with complex assignments adding edges as sets
+// grow.
+package worklist
+
+import (
+	"sort"
+
+	"cla/internal/prim"
+	"cla/internal/pts"
+)
+
+// Solve runs the baseline Andersen analysis over the full database (the
+// algorithm is whole-program; demand loading does not apply).
+type solver struct {
+	src pts.Source
+	n   int
+
+	// pt[v] is the points-to set of node v, as a sorted slice.
+	pt [][]prim.SymID
+	// succ[v] are inclusion edges v ⊆ w (flow from v to w).
+	succ []map[int32]struct{}
+	// loadsOf[p]: complex x = *p (x receives).
+	loadsOf map[int32][]int32
+	// storesOf[p]: complex *p = y (y flows to pointees of p).
+	storesOf map[int32][]int32
+
+	recOfFunc map[int32]*prim.FuncRecord
+	ptrRecs   []*prim.FuncRecord
+
+	work []int32
+	inWk []bool
+
+	m pts.Metrics
+}
+
+// Result holds the solved relation.
+type Result struct {
+	pt [][]prim.SymID
+	m  pts.Metrics
+}
+
+// PointsTo implements pts.Result.
+func (r *Result) PointsTo(sym prim.SymID) []prim.SymID {
+	if int(sym) < 0 || int(sym) >= len(r.pt) {
+		return nil
+	}
+	return r.pt[sym]
+}
+
+// Metrics implements pts.Result.
+func (r *Result) Metrics() pts.Metrics { return r.m }
+
+// Solve computes Andersen's analysis with explicit transitive propagation.
+func Solve(src pts.Source) (*Result, error) {
+	s := &solver{
+		src:       src,
+		n:         src.NumSyms(),
+		loadsOf:   map[int32][]int32{},
+		storesOf:  map[int32][]int32{},
+		recOfFunc: map[int32]*prim.FuncRecord{},
+	}
+	s.pt = make([][]prim.SymID, s.n)
+	s.succ = make([]map[int32]struct{}, s.n)
+	s.inWk = make([]bool, s.n)
+
+	funcs := src.Funcs()
+	for i := range funcs {
+		f := &funcs[i]
+		sym := src.Sym(f.Func)
+		if sym.Kind == prim.SymFunc {
+			s.recOfFunc[int32(f.Func)] = f
+		}
+		if sym.FuncPtr {
+			s.ptrRecs = append(s.ptrRecs, f)
+		}
+	}
+
+	statics, err := src.Statics()
+	if err != nil {
+		return nil, err
+	}
+	s.m.Loaded += len(statics)
+	for _, a := range statics {
+		s.addPt(int32(a.Dst), a.Src)
+	}
+	// Whole-program: load every block.
+	for i := 0; i < s.n; i++ {
+		block, err := src.Block(prim.SymID(i))
+		if err != nil {
+			return nil, err
+		}
+		s.m.Loaded += len(block)
+		for _, a := range block {
+			d, y := int32(a.Dst), int32(a.Src)
+			switch a.Kind {
+			case prim.Simple: // d = y: y flows to d
+				s.addEdge(y, d)
+			case prim.LoadInd: // d = *y
+				s.loadsOf[y] = append(s.loadsOf[y], d)
+				s.m.InCore++
+			case prim.StoreInd: // *d = y
+				s.storesOf[d] = append(s.storesOf[d], y)
+				s.m.InCore++
+			case prim.CopyInd: // *d = *y: via virtual temp
+				t := s.extend()
+				s.loadsOf[y] = append(s.loadsOf[y], t)
+				s.storesOf[d] = append(s.storesOf[d], t)
+				s.m.InCore += 2
+			case prim.Base:
+				s.addPt(d, a.Src)
+			}
+		}
+	}
+
+	for len(s.work) > 0 {
+		v := s.work[len(s.work)-1]
+		s.work = s.work[:len(s.work)-1]
+		s.inWk[v] = false
+		s.m.Passes++
+
+		ptv := s.pt[v]
+		// Complex rules fire on the current set.
+		for _, x := range s.loadsOf[v] { // x = *v
+			for _, z := range ptv {
+				s.addEdge(int32(z), x)
+			}
+		}
+		for _, y := range s.storesOf[v] { // *v = y
+			for _, z := range ptv {
+				s.addEdge(y, int32(z))
+			}
+		}
+		// Function-pointer linking.
+		if int(v) < s.n && s.src.Sym(prim.SymID(v)).FuncPtr {
+			for _, r := range s.ptrRecs {
+				if int32(r.Func) != v {
+					continue
+				}
+				for _, z := range ptv {
+					g, ok := s.recOfFunc[int32(z)]
+					if !ok {
+						continue
+					}
+					np := len(r.Params)
+					if len(g.Params) < np {
+						np = len(g.Params)
+					}
+					for i := 0; i < np; i++ {
+						s.addEdge(int32(r.Params[i]), int32(g.Params[i]))
+					}
+					if r.Ret != prim.NoSym && g.Ret != prim.NoSym {
+						s.addEdge(int32(g.Ret), int32(r.Ret))
+					}
+				}
+			}
+		}
+		// Propagate along inclusion edges.
+		for w := range s.succ[v] {
+			if s.union(w, ptv) {
+				s.enqueue(w)
+			}
+		}
+	}
+
+	counts := src.Counts()
+	for _, c := range counts {
+		s.m.InFile += c
+	}
+	res := &Result{pt: s.pt[:s.n], m: s.m}
+	vars, rels := pts.SumRelations(src, res)
+	res.m.PointerVars = vars
+	res.m.Relations = rels
+	return res, nil
+}
+
+// extend allocates a virtual node (for *x = *y splitting).
+func (s *solver) extend() int32 {
+	id := int32(len(s.pt))
+	s.pt = append(s.pt, nil)
+	s.succ = append(s.succ, nil)
+	s.inWk = append(s.inWk, false)
+	return id
+}
+
+func (s *solver) enqueue(v int32) {
+	if !s.inWk[v] {
+		s.inWk[v] = true
+		s.work = append(s.work, v)
+	}
+}
+
+// addPt inserts one lval, enqueueing on growth.
+func (s *solver) addPt(v int32, lval prim.SymID) {
+	set := s.pt[v]
+	i := sort.Search(len(set), func(i int) bool { return set[i] >= lval })
+	if i < len(set) && set[i] == lval {
+		return
+	}
+	set = append(set, 0)
+	copy(set[i+1:], set[i:])
+	set[i] = lval
+	s.pt[v] = set
+	s.enqueue(v)
+}
+
+// union merges src set into v's set; reports growth.
+func (s *solver) union(v int32, add []prim.SymID) bool {
+	if len(add) == 0 {
+		return false
+	}
+	set := s.pt[v]
+	merged := mergeSorted(set, add)
+	if len(merged) == len(set) {
+		return false
+	}
+	s.pt[v] = merged
+	return true
+}
+
+// addEdge inserts inclusion edge a → b (pt(a) ⊆ pt(b)) and propagates the
+// current set immediately.
+func (s *solver) addEdge(a, b int32) {
+	if a == b {
+		return
+	}
+	if s.succ[a] == nil {
+		s.succ[a] = map[int32]struct{}{}
+	}
+	if _, ok := s.succ[a][b]; ok {
+		return
+	}
+	s.succ[a][b] = struct{}{}
+	s.m.EdgesAdded++
+	if s.union(b, s.pt[a]) {
+		s.enqueue(b)
+	}
+}
+
+// mergeSorted unions two sorted slices.
+func mergeSorted(a, b []prim.SymID) []prim.SymID {
+	if len(b) == 0 {
+		return a
+	}
+	if len(a) == 0 {
+		return append([]prim.SymID(nil), b...)
+	}
+	out := make([]prim.SymID, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}

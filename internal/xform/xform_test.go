@@ -1,0 +1,202 @@
+package xform
+
+import (
+	"testing"
+
+	"cla/internal/core"
+	"cla/internal/frontend"
+	"cla/internal/prim"
+	"cla/internal/pts"
+)
+
+func compile(t *testing.T, src string) *prim.Program {
+	t.Helper()
+	p, err := frontend.CompileSource("t.c", src, nil, frontend.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func solve(t *testing.T, p *prim.Program) *core.Result {
+	t.Helper()
+	r, err := core.Solve(pts.NewMemSource(p), core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func ptsNames(p *prim.Program, r *core.Result, name string) map[string]bool {
+	out := map[string]bool{}
+	for _, z := range r.PointsTo(p.SymIDByName(name)) {
+		out[p.Sym(z).Name] = true
+	}
+	return out
+}
+
+// The identity-function example: context-insensitive analysis conflates
+// the two call sites; the duplication transformation separates them.
+const idSource = `
+int g1, g2;
+int *id(int *v) { return v; }
+int *r1, *r2;
+void m(void) {
+	r1 = id(&g1);
+	r2 = id(&g2);
+}`
+
+func TestContextInsensitiveBaseline(t *testing.T) {
+	p := compile(t, idSource)
+	r := solve(t, p)
+	got := ptsNames(p, r, "r1")
+	if !got["g1"] || !got["g2"] {
+		t.Fatalf("baseline pts(r1) = %v, expected conflated {g1,g2}", got)
+	}
+}
+
+func TestContextSensitiveSeparatesCallSites(t *testing.T) {
+	p := compile(t, idSource)
+	xp := ContextSensitive(p, Options{})
+	if err := xp.Validate(); err != nil {
+		t.Fatalf("transformed program invalid: %v", err)
+	}
+	r := solve(t, xp)
+	r1 := ptsNames(xp, r, "r1")
+	if !r1["g1"] || r1["g2"] {
+		t.Errorf("pts(r1) = %v, want exactly {g1}", r1)
+	}
+	r2 := ptsNames(xp, r, "r2")
+	if !r2["g2"] || r2["g1"] {
+		t.Errorf("pts(r2) = %v, want exactly {g2}", r2)
+	}
+}
+
+func TestContextSensitiveSoundness(t *testing.T) {
+	// The transformed program must not lose any flows present in the
+	// original for non-cloned objects.
+	src := `
+int a, b;
+int *pass(int *x) { return x; }
+int *keep;
+void m(void) {
+	keep = pass(&a);
+	keep = pass(&b);
+}`
+	p := compile(t, src)
+	orig := ptsNames(p, solve(t, p), "keep")
+	xp := ContextSensitive(p, Options{})
+	got := ptsNames(xp, solve(t, xp), "keep")
+	for name := range orig {
+		if !got[name] {
+			t.Errorf("transformation lost %s from pts(keep): %v vs %v", name, got, orig)
+		}
+	}
+}
+
+func TestSingleCallSiteNotCloned(t *testing.T) {
+	src := `
+int g;
+int *one(int *v) { return v; }
+int *r;
+void m(void) { r = one(&g); }`
+	p := compile(t, src)
+	xp := ContextSensitive(p, Options{})
+	// No duplicated symbols should appear.
+	for i := range xp.Syms {
+		if xp.Syms[i].Name == "one$1@1" {
+			t.Error("single-call-site function was cloned")
+		}
+	}
+	r := solve(t, xp)
+	if got := ptsNames(xp, r, "r"); !got["g"] {
+		t.Errorf("pts(r) = %v", got)
+	}
+}
+
+func TestFunctionFilter(t *testing.T) {
+	p := compile(t, idSource)
+	xp := ContextSensitive(p, Options{Functions: map[string]bool{"other": true}})
+	// id was not selected: behavior must stay context-insensitive.
+	r := solve(t, xp)
+	got := ptsNames(xp, r, "r1")
+	if !got["g1"] || !got["g2"] {
+		t.Errorf("filtered transform changed behavior: %v", got)
+	}
+}
+
+func TestBodySizeLimit(t *testing.T) {
+	p := compile(t, idSource)
+	xp := ContextSensitive(p, Options{MaxBodyAssigns: 1})
+	r := solve(t, xp)
+	got := ptsNames(xp, r, "r1")
+	if !got["g1"] || !got["g2"] {
+		t.Errorf("limit ignored: %v", got)
+	}
+}
+
+func TestIndirectCallsKeepSharedContext(t *testing.T) {
+	src := `
+int g1, g2;
+int *id(int *v) { return v; }
+int *(*fp)(int *);
+int *r1, *r2, *ri;
+void m(void) {
+	r1 = id(&g1);
+	r2 = id(&g2);
+	fp = id;
+	ri = fp(&g1);
+}`
+	p := compile(t, src)
+	xp := ContextSensitive(p, Options{})
+	r := solve(t, xp)
+	// Direct calls: separated. Note the fp call goes through the shared
+	// record and must still resolve.
+	if got := ptsNames(xp, r, "ri"); !got["g1"] {
+		t.Errorf("indirect call broken: pts(ri) = %v", got)
+	}
+	if got := ptsNames(xp, r, "r1"); got["g2"] {
+		t.Errorf("direct call not separated: pts(r1) = %v", got)
+	}
+}
+
+func TestChainedClonedFunctions(t *testing.T) {
+	src := `
+int g1, g2;
+int *inner(int *v) { return v; }
+int *outer(int *w) { return inner(w); }
+int *r1, *r2;
+void m(void) {
+	r1 = outer(&g1);
+	r2 = outer(&g2);
+}`
+	p := compile(t, src)
+	xp := ContextSensitive(p, Options{})
+	r := solve(t, xp)
+	// k=1 cloning: outer is cloned per site, but both clones call the
+	// same inner context, so the flows re-merge inside inner. Soundness:
+	// both results still include their own global.
+	r1 := ptsNames(xp, r, "r1")
+	r2 := ptsNames(xp, r, "r2")
+	if !r1["g1"] || !r2["g2"] {
+		t.Errorf("lost flows: r1=%v r2=%v", r1, r2)
+	}
+}
+
+func TestTransformPreservesCounts(t *testing.T) {
+	p := compile(t, idSource)
+	xp := ContextSensitive(p, Options{})
+	if len(xp.Assigns) <= len(p.Assigns) {
+		t.Errorf("no duplication happened: %d vs %d", len(xp.Assigns), len(p.Assigns))
+	}
+	if len(xp.Funcs) != len(p.Funcs) {
+		t.Errorf("function records changed: %d vs %d", len(xp.Funcs), len(p.Funcs))
+	}
+}
+
+func TestEmptyProgram(t *testing.T) {
+	xp := ContextSensitive(&prim.Program{}, Options{})
+	if len(xp.Assigns) != 0 || len(xp.Syms) != 0 {
+		t.Errorf("empty program changed: %+v", xp)
+	}
+}

@@ -1,0 +1,68 @@
+package cla
+
+import (
+	"cla/internal/prim"
+	"cla/internal/xform"
+)
+
+// This file exposes the pre-analysis database transformers of Section 4 —
+// "we can write pre-analysis optimizers as database to database
+// transformers" — on the public Database type.
+
+// ContextOptions bounds the context-sensitivity transformation.
+type ContextOptions struct {
+	// Functions restricts cloning to the named functions (nil = all
+	// eligible).
+	Functions []string
+	// MaxBodyAssigns skips functions with larger bodies (0 = 256).
+	MaxBodyAssigns int
+	// MaxCallSites skips functions called from more sites (0 = 16).
+	MaxCallSites int
+}
+
+// ContextSensitive returns a new database in which eligible functions'
+// parameter/return variables and bodies are duplicated per call site, so
+// the (context-insensitive) solvers produce call-site-sensitive results
+// for them. Indirect calls keep the original shared context.
+func (db *Database) ContextSensitive(opts *ContextOptions) *Database {
+	xo := xform.Options{}
+	if opts != nil {
+		xo.MaxBodyAssigns = opts.MaxBodyAssigns
+		xo.MaxCallSites = opts.MaxCallSites
+		if opts.Functions != nil {
+			xo.Functions = map[string]bool{}
+			for _, f := range opts.Functions {
+				xo.Functions[f] = true
+			}
+		}
+	}
+	return &Database{prog: xform.ContextSensitive(db.prog, xo)}
+}
+
+// Substitution maps objects of an original database to their
+// representatives in a substituted database.
+type Substitution struct {
+	from *Database
+	to   *Database
+	m    []prim.SymID
+}
+
+// Map returns the representative of obj in the substituted database.
+func (s *Substitution) Map(obj Object) Object {
+	if !obj.Valid() || int(obj.id) >= len(s.m) {
+		return Object{}
+	}
+	return Object{db: s.to, id: s.m[obj.id]}
+}
+
+// OfflineVarSub returns a new database with offline variable substitution
+// applied (copy cycles collapsed, single-copy chains forwarded — the
+// pre-analysis optimization of Rountev & Chandra, the paper's reference
+// [21]) together with the object mapping. Query the analysis of the new
+// database through Substitution.Map; results for representatives equal
+// the unsubstituted analysis exactly.
+func (db *Database) OfflineVarSub() (*Database, *Substitution) {
+	prog, mapping := xform.OfflineVarSub(db.prog)
+	out := &Database{prog: prog}
+	return out, &Substitution{from: db, to: out, m: mapping}
+}
