@@ -45,6 +45,10 @@ type AnalyzeOptions struct {
 	NoCycleElim bool
 	// NoDemandLoad loads the whole database upfront (ablation).
 	NoDemandLoad bool
+	// Jobs bounds the workers used to materialize final points-to sets
+	// after solving (0 = all available cores, 1 = sequential). Results
+	// are identical at every setting.
+	Jobs int
 }
 
 func (o *AnalyzeOptions) coreConfig() core.Config {
@@ -53,6 +57,7 @@ func (o *AnalyzeOptions) coreConfig() core.Config {
 		cfg.Cache = !o.NoCache
 		cfg.CycleElim = !o.NoCycleElim
 		cfg.DemandLoad = !o.NoDemandLoad
+		cfg.Jobs = o.Jobs
 	}
 	return cfg
 }
@@ -116,7 +121,11 @@ func solve(src pts.Source, opts *AnalyzeOptions) (pts.Result, error) {
 	case SteensgaardUnify:
 		return steens.Solve(src)
 	case BitVectorAndersen:
-		return bitvec.Solve(src)
+		jobs := 0
+		if opts != nil {
+			jobs = opts.Jobs
+		}
+		return bitvec.SolveJobs(src, jobs)
 	case OneLevelFlow:
 		return onelevel.Solve(src)
 	}

@@ -50,6 +50,10 @@ type Options struct {
 	// ModelStrings models string literals as objects instead of ignoring
 	// them.
 	ModelStrings bool
+	// Jobs bounds the workers used to compile translation units and link
+	// their databases (0 = all available cores, 1 = sequential). The
+	// output is identical at every setting.
+	Jobs int
 }
 
 func (o *Options) frontend() frontend.Options {
@@ -101,13 +105,16 @@ func compileText(name, src string, loader cpp.Loader, opts *Options) (*Database,
 	return &Database{prog: prog}, nil
 }
 
-// CompileDir compiles and links every .c file in dir.
+// CompileDir compiles and links every .c file in dir, fanning the unit
+// compiles out across Options.Jobs workers.
 func CompileDir(dir string, opts *Options) (*Database, error) {
 	o := frontend.Options{}
+	jobs := 0
 	if opts != nil {
 		o = opts.frontend()
+		jobs = opts.Jobs
 	}
-	prog, err := driver.CompileDir(dir, o)
+	prog, err := driver.CompileDirJobs(dir, o, jobs)
 	if err != nil {
 		return nil, err
 	}

@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"cla/internal/core"
@@ -37,6 +38,7 @@ func main() {
 		noCache    = flag.Bool("no-cache", false, "disable reachability caching")
 		noCycle    = flag.Bool("no-cycle-elim", false, "disable cycle elimination")
 		noDemand   = flag.Bool("no-demand-load", false, "load the whole database upfront")
+		jobs       = flag.Int("j", runtime.GOMAXPROCS(0), "workers for batch queries and result materialization")
 		maxDeps    = flag.Int("max", 50, "maximum dependents to print")
 		ovs        = flag.Bool("ovs", false, "apply offline variable substitution before solving")
 		contextSen = flag.Bool("context", false, "apply per-call-site context duplication before solving")
@@ -54,7 +56,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "claan: %v\n", err)
 		os.Exit(2)
 	}
-	cfg := core.Config{Cache: !*noCache, CycleElim: !*noCycle, DemandLoad: !*noDemand}
+	cfg := core.Config{Cache: !*noCache, CycleElim: !*noCycle, DemandLoad: !*noDemand, Jobs: *jobs}
 
 	r, err := objfile.Open(flag.Arg(0))
 	if err != nil {

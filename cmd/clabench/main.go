@@ -9,6 +9,7 @@
 //	clabench -table 5 -profile gimp      # cache/cycle-elim ablation (§5)
 //	clabench -table 6                    # five-solver comparison (§6)
 //	clabench -table 7                    # §4 database transformations
+//	clabench -table 8 -j 8               # sequential vs parallel pipeline
 //	clabench -all                        # everything
 //
 // Absolute times depend on the host; the shapes (who wins, by what
@@ -19,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"cla/internal/bench"
 	"cla/internal/gen"
@@ -26,17 +28,19 @@ import (
 
 func main() {
 	var (
-		table    = flag.Int("table", 0, "table to regenerate (2-6)")
+		table    = flag.Int("table", 0, "table to regenerate (2-8)")
 		all      = flag.Bool("all", false, "regenerate every table")
 		scale    = flag.Float64("scale", 1.0, "workload scale factor")
 		seed     = flag.Int64("seed", 1, "generation seed")
 		profile  = flag.String("profile", "gimp", "profile for the ablation table")
 		ablScale = flag.Float64("ablation-scale", 0.1, "scale for the ablation (the naive configuration is very slow at full scale, as the paper reports)")
+		jobs     = flag.Int("j", runtime.GOMAXPROCS(0), "worker count for the parallel-pipeline table")
+		jsonOut  = flag.String("json", "BENCH_parallel.json", "file recording the parallel-pipeline rows (empty to skip)")
 	)
 	flag.Parse()
 
-	if !*all && (*table < 2 || *table > 7) {
-		fmt.Fprintln(os.Stderr, "clabench: pass -all or -table 2..7")
+	if !*all && (*table < 2 || *table > 8) {
+		fmt.Fprintln(os.Stderr, "clabench: pass -all or -table 2..8")
 		os.Exit(2)
 	}
 
@@ -138,5 +142,22 @@ func main() {
 			rows = append(rows, r...)
 		}
 		bench.FormatXforms(os.Stdout, rows)
+		fmt.Println()
+	}
+	if need(8) {
+		fmt.Printf("== Parallel pipeline: -j 1 vs -j %d (compile+link, analyze) ==\n", *jobs)
+		rows, err := bench.RunParallelAll(*scale, *seed, *jobs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "clabench: %v\n", err)
+			os.Exit(1)
+		}
+		bench.FormatParallel(os.Stdout, rows)
+		if *jsonOut != "" {
+			if err := bench.WriteParallelJSON(*jsonOut, rows); err != nil {
+				fmt.Fprintf(os.Stderr, "clabench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "clabench: wrote %s\n", *jsonOut)
+		}
 	}
 }

@@ -14,13 +14,13 @@ import (
 	"os"
 	"runtime"
 	"strings"
-	"sync"
 
 	"cla/internal/cpp"
 	"cla/internal/driver"
 	"cla/internal/frontend"
 	"cla/internal/linker"
 	"cla/internal/objfile"
+	"cla/internal/parallel"
 	"cla/internal/prim"
 )
 
@@ -38,7 +38,7 @@ func main() {
 		mode     = flag.String("mode", "field-based", "struct mode: field-based or field-independent")
 		strs     = flag.Bool("strings", false, "model string constants as objects")
 		cacheDir = flag.String("cache", "", "object cache directory for incremental recompilation")
-		parallel = flag.Bool("j", true, "compile units in parallel")
+		jobs     = flag.Int("j", runtime.GOMAXPROCS(0), "number of parallel compile workers (1 = sequential)")
 		includes stringList
 		defines  stringList
 	)
@@ -85,31 +85,19 @@ func main() {
 		return frontend.CompileFile(in, loader, opts)
 	}
 
+	// Fan the independent unit compiles out across -j workers; results
+	// land in argument order and the lowest-numbered failure wins, so the
+	// behaviour matches a sequential loop.
 	progs := make([]*prim.Program, flag.NArg())
-	errs := make([]error, flag.NArg())
-	if *parallel {
-		var wg sync.WaitGroup
-		sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-		for i, in := range flag.Args() {
-			wg.Add(1)
-			go func(i int, in string) {
-				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
-				progs[i], errs[i] = compileOne(in)
-			}(i, in)
-		}
-		wg.Wait()
-	} else {
-		for i, in := range flag.Args() {
-			progs[i], errs[i] = compileOne(in)
-		}
+	if err := parallel.ForEach(*jobs, flag.NArg(), func(i int) error {
+		p, err := compileOne(flag.Arg(i))
+		progs[i] = p
+		return err
+	}); err != nil {
+		fmt.Fprintf(os.Stderr, "clacc: %v\n", err)
+		os.Exit(1)
 	}
 	for i, in := range flag.Args() {
-		if errs[i] != nil {
-			fmt.Fprintf(os.Stderr, "clacc: %v\n", errs[i])
-			os.Exit(1)
-		}
 		if *out == "" {
 			dst := strings.TrimSuffix(in, ".c") + ".clo"
 			if err := objfile.WriteFile(dst, progs[i]); err != nil {
@@ -122,7 +110,7 @@ func main() {
 		merged := progs[0]
 		if len(progs) > 1 {
 			var err error
-			merged, err = linker.Link(progs)
+			merged, err = linker.LinkParallel(progs, *jobs)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "clacc: %v\n", err)
 				os.Exit(1)

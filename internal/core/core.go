@@ -29,6 +29,7 @@ package core
 import (
 	"fmt"
 
+	"cla/internal/parallel"
 	"cla/internal/prim"
 	"cla/internal/pts"
 )
@@ -45,6 +46,10 @@ type Config struct {
 	DemandLoad bool
 	// MaxPasses bounds the outer fixpoint (safety net; 0 = 1<<20).
 	MaxPasses int
+	// Jobs bounds the worker count for the post-fixpoint snapshot build
+	// and batch result queries (<= 0 means GOMAXPROCS). The fixpoint
+	// itself is always single-threaded.
+	Jobs int
 }
 
 // DefaultConfig enables caching, cycle elimination and demand loading.
@@ -100,6 +105,11 @@ type Solver struct {
 	nSeen    []int32
 	gnBuf    []int32
 	interned map[uint64][][]prim.SymID
+
+	// snap is the frozen read-only query structure built after the
+	// fixpoint converges; all Result queries go through it (see
+	// snapshot.go) and may run concurrently.
+	snap *snapshot
 
 	m pts.Metrics
 }
@@ -220,9 +230,13 @@ func Solve(src pts.Source, cfg Config) (*Result, error) {
 		}
 	}
 
-	// Final pass id for result queries; nothing mutates after this.
+	// Nothing mutates the graph after convergence: freeze it into the
+	// read-only snapshot (skip chains resolved, all lval sets
+	// materialized across cfg.Jobs workers) and drop the fixpoint
+	// scratch. Every Result query from here on is a lock-free lookup.
 	s.pass++
-	s.flushInterned()
+	s.snap = s.buildSnapshot()
+	s.releaseScratch()
 	s.m.InCore = len(s.complex)
 	counts := src.Counts()
 	for _, c := range counts {
@@ -231,6 +245,17 @@ func Solve(src pts.Source, cfg Config) (*Result, error) {
 	res := &Result{s: s}
 	res.fillMetrics()
 	return res, nil
+}
+
+// releaseScratch frees the traversal state the snapshot supersedes.
+func (s *Solver) releaseScratch() {
+	s.tVisit, s.tIndex, s.tLow, s.tOnStack, s.tDone = nil, nil, nil, nil, nil
+	s.tVal, s.nSeen, s.gnBuf = nil, nil, nil
+	s.interned = nil
+	for i := range s.nodes {
+		s.nodes[i].cache = nil
+		s.nodes[i].eset = nil
+	}
 }
 
 // funcPtrPass links indirect calls: when a function g reaches the
@@ -261,24 +286,73 @@ func (s *Solver) funcPtrPass() error {
 	return nil
 }
 
-// Result exposes the solved points-to relation.
+// Result exposes the solved points-to relation. All queries read the
+// frozen snapshot, so a Result is safe for concurrent use by multiple
+// goroutines.
 type Result struct {
 	s *Solver
 }
 
-// PointsTo returns the objects sym may point to, sorted.
+// PointsTo returns the objects sym may point to, sorted. The returned
+// slice is shared and must not be mutated.
 func (r *Result) PointsTo(sym prim.SymID) []prim.SymID {
 	if int32(sym) < 0 || int32(sym) >= r.s.numSyms {
 		return nil
 	}
-	return r.s.getLvals(r.s.find(int32(sym)))
+	return r.s.snap.lvals(int32(sym))
 }
 
 // Metrics returns solver statistics.
 func (r *Result) Metrics() pts.Metrics { return r.s.m }
 
+// fillMetrics computes the Table 3 accounting (pointer variables with
+// non-empty sets and total relations) by fanning the batch of per-symbol
+// queries out across cfg.Jobs shards. Each worker accumulates privately;
+// the totals are order-independent sums, so the result is identical to
+// the sequential loop.
 func (r *Result) fillMetrics() {
-	vars, rels := pts.SumRelations(r.s.src, r)
-	r.s.m.PointerVars = vars
-	r.s.m.Relations = rels
+	n := int(r.s.numSyms)
+	w := parallel.Workers(r.s.cfg.Jobs)
+	vars := make([]int, w)
+	rels := make([]int, w)
+	parallel.Shard(r.s.cfg.Jobs, n, func(wk, lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			id := prim.SymID(i)
+			if !pts.CountedAsPointerVar(r.s.src.Sym(id).Kind) {
+				continue
+			}
+			if c := len(r.PointsTo(id)); c > 0 {
+				vars[wk]++
+				rels[wk] += c
+			}
+		}
+		return nil
+	})
+	for i := 0; i < w; i++ {
+		r.s.m.PointerVars += vars[i]
+		r.s.m.Relations += rels[i]
+	}
+	// With caching on, keep the batch-query accounting from the mutable
+	// era: the first query of a component materializes its set (a miss);
+	// every later query of the same component is answered by the shared
+	// set (a hit). Computed in one deterministic pass so the totals are
+	// identical at any worker count.
+	if r.s.cfg.Cache {
+		touched := make([]bool, len(r.s.snap.sets))
+		var queries, distinct int64
+		for i := 0; i < n; i++ {
+			id := prim.SymID(i)
+			if !pts.CountedAsPointerVar(r.s.src.Sym(id).Kind) || len(r.PointsTo(id)) == 0 {
+				continue
+			}
+			queries++
+			c := r.s.snap.comp[r.s.snap.rep[i]]
+			if !touched[c] {
+				touched[c] = true
+				distinct++
+			}
+		}
+		r.s.m.CacheHits += queries - distinct
+		r.s.m.CacheMisses += distinct
+	}
 }

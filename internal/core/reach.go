@@ -272,9 +272,15 @@ func (s *Solver) reachPlain(root int32) []prim.SymID {
 }
 
 // internSet shares identical lval sets through a per-pass hash table (the
-// paper's third optimization: "many lval sets are identical"). FNV-1a over
-// the elements keeps hashing allocation-free.
+// paper's third optimization: "many lval sets are identical").
 func (s *Solver) internSet(set []prim.SymID) []prim.SymID {
+	return internInto(s.interned, set)
+}
+
+// internInto canonicalizes set against table, returning the previously
+// stored equal set when one exists. FNV-1a over the elements keeps
+// hashing allocation-free.
+func internInto(table map[uint64][][]prim.SymID, set []prim.SymID) []prim.SymID {
 	if len(set) == 0 {
 		return nil
 	}
@@ -282,18 +288,25 @@ func (s *Solver) internSet(set []prim.SymID) []prim.SymID {
 	for _, v := range set {
 		key = (key ^ uint64(uint32(v))) * 1099511628211
 	}
-	for _, cand := range s.interned[key] {
+	for _, cand := range table[key] {
 		if equalSets(cand, set) {
 			return cand
 		}
 	}
-	s.interned[key] = append(s.interned[key], set)
+	table[key] = append(table[key], set)
 	return set
 }
 
-// flushInterned clears the sharing table (done at each pass boundary).
+// flushInterned empties the sharing table at each pass boundary. The map
+// is reused (clear, not reallocate): this runs once per pass on the hot
+// fixpoint path, and dropping the map would also drop the buckets its
+// table has already grown.
 func (s *Solver) flushInterned() {
-	s.interned = map[uint64][][]prim.SymID{}
+	if s.interned == nil {
+		s.interned = map[uint64][][]prim.SymID{}
+		return
+	}
+	clear(s.interned)
 }
 
 func equalSets(a, b []prim.SymID) bool {

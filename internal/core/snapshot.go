@@ -1,0 +1,225 @@
+package core
+
+import (
+	"cla/internal/parallel"
+	"cla/internal/prim"
+)
+
+// This file implements the read-only snapshot query mode. During the
+// fixpoint, getLvals answers queries against mutable state: skip
+// pointers compress, cycles unify, and the traversal scratch
+// (tVisit/tVal/nSeen) is solver-global — none of which can be shared
+// between goroutines. Once the outer fixpoint converges the graph is
+// final, so Solve freezes it: skip chains are resolved into a flat
+// representative table, the condensation (SCC DAG) is computed once, and
+// every component's lval set is materialized bottom-up — components of
+// equal height in the DAG fan out across cfg.Jobs workers, each with
+// private scratch. After the freeze, a points-to query is two array
+// loads, safe from any number of goroutines.
+
+// snapshot is the frozen form of the converged pre-transitive graph.
+type snapshot struct {
+	rep  []int32        // node → representative (skip chains resolved)
+	comp []int32        // representative → component id (reverse topo order)
+	sets [][]prim.SymID // component id → final sorted lval set (shared)
+}
+
+// lvals returns the materialized set for any node, in O(1).
+func (sn *snapshot) lvals(n int32) []prim.SymID {
+	return sn.sets[sn.comp[sn.rep[n]]]
+}
+
+// buildSnapshot freezes the solver's graph. Called once, after the
+// fixpoint, while the solver is still single-threaded.
+func (s *Solver) buildSnapshot() *snapshot {
+	n := len(s.nodes)
+	sn := &snapshot{
+		rep:  make([]int32, n),
+		comp: make([]int32, n),
+	}
+	for i := 0; i < n; i++ {
+		sn.rep[i] = s.find(int32(i))
+	}
+
+	// Condensed adjacency per representative: out-edges mapped through
+	// rep, deduped, self-loops dropped.
+	adj := make([][]int32, n)
+	seen := make([]int32, n)
+	epoch := int32(0)
+	for i := 0; i < n; i++ {
+		v := int32(i)
+		if sn.rep[i] != v || len(s.nodes[i].edges) == 0 {
+			continue
+		}
+		epoch++
+		out := make([]int32, 0, len(s.nodes[i].edges))
+		for _, e := range s.nodes[i].edges {
+			w := sn.rep[e]
+			if w == v || seen[w] == epoch {
+				continue
+			}
+			seen[w] = epoch
+			out = append(out, w)
+		}
+		adj[i] = out
+	}
+
+	// Iterative Tarjan over the representatives. Components pop in
+	// reverse topological order: every edge out of a completed component
+	// leads to an earlier (smaller-id) component.
+	members := s.condense(sn, adj)
+
+	// Successor components and DAG height per component. Successors have
+	// smaller ids, so one ascending pass resolves heights.
+	nc := len(members)
+	succs := make([][]int32, nc)
+	height := make([]int32, nc)
+	maxHeight := int32(0)
+	cseen := make([]int32, nc)
+	cepoch := int32(0)
+	for c := 0; c < nc; c++ {
+		cepoch++
+		var out []int32
+		h := int32(0)
+		for _, m := range members[c] {
+			for _, w := range adj[m] {
+				wc := sn.comp[w]
+				if wc == int32(c) || cseen[wc] == cepoch {
+					continue
+				}
+				cseen[wc] = cepoch
+				out = append(out, wc)
+				if height[wc]+1 > h {
+					h = height[wc] + 1
+				}
+			}
+		}
+		succs[c] = out
+		height[c] = h
+		if h > maxHeight {
+			maxHeight = h
+		}
+	}
+	buckets := make([][]int32, maxHeight+1)
+	for c := 0; c < nc; c++ {
+		buckets[height[c]] = append(buckets[height[c]], int32(c))
+	}
+
+	// Materialize lval sets bottom-up: a component's set is the union of
+	// its members' base elements and its successors' sets, all of which
+	// live at strictly lower heights. Components within one height level
+	// are independent, so each level fans out across cfg.Jobs workers;
+	// the union of sorted sets is order-independent, making the result
+	// identical at any worker count. Between levels, equal sets are
+	// shared through the interning table (the paper's observation that
+	// many lval sets are identical), kept single-threaded so it needs no
+	// locking.
+	sn.sets = make([][]prim.SymID, nc)
+	interned := map[uint64][][]prim.SymID{}
+	for _, bucket := range buckets {
+		parallel.Shard(s.cfg.Jobs, len(bucket), func(_, lo, hi int) error {
+			for bi := lo; bi < hi; bi++ {
+				c := bucket[bi]
+				var acc []prim.SymID
+				for _, m := range members[c] {
+					acc = mergeSorted(acc, s.nodes[m].base)
+				}
+				for _, sc := range succs[c] {
+					acc = mergeSorted(acc, sn.sets[sc])
+				}
+				sn.sets[c] = acc
+			}
+			return nil
+		})
+		for _, c := range bucket {
+			sn.sets[c] = internInto(interned, sn.sets[c])
+		}
+	}
+
+	// Accounting: a multi-member component is a cycle whose nodes the
+	// final query pass would have unified; the snapshot collapses them
+	// into one shared set, so credit the merges under the same flag.
+	if s.cfg.CycleElim {
+		for c := 0; c < nc; c++ {
+			s.m.Unifications += len(members[c]) - 1
+		}
+	}
+	return sn
+}
+
+// condense runs iterative Tarjan over the representative graph, filling
+// sn.comp and returning each component's members. Unlike reachTarjan it
+// never unifies: the snapshot leaves solver state untouched, which is
+// what makes it valid under every Config (including CycleElim off, where
+// cycles survive the fixpoint).
+func (s *Solver) condense(sn *snapshot, adj [][]int32) [][]int32 {
+	n := len(s.nodes)
+	index := make([]int32, n)
+	low := make([]int32, n)
+	onStack := make([]bool, n)
+	var (
+		members [][]int32
+		stack   []int32
+		frames  []tframe
+		order   int32
+	)
+	push := func(v int32) {
+		order++
+		index[v] = order
+		low[v] = order
+		onStack[v] = true
+		stack = append(stack, v)
+		frames = append(frames, tframe{v: v})
+	}
+	for r0 := 0; r0 < n; r0++ {
+		v0 := int32(r0)
+		if sn.rep[r0] != v0 || index[v0] != 0 {
+			continue
+		}
+		push(v0)
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			v := f.v
+			advanced := false
+			for f.ei < len(adj[v]) {
+				w := adj[v][f.ei]
+				f.ei++
+				if index[w] == 0 {
+					push(w)
+					advanced = true
+					break
+				}
+				if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := frames[len(frames)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+			if low[v] != index[v] {
+				continue
+			}
+			cid := int32(len(members))
+			var ms []int32
+			for {
+				m := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[m] = false
+				sn.comp[m] = cid
+				ms = append(ms, m)
+				if m == v {
+					break
+				}
+			}
+			members = append(members, ms)
+		}
+	}
+	return members
+}

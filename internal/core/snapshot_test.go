@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"cla/internal/prim"
+	"cla/internal/pts"
+)
+
+// randProgram builds a pseudo-random constraint workload with cycles,
+// stores and loads so the snapshot exercises multi-member components,
+// shared sets and several DAG levels.
+func randProgram(seed int64, nsyms, nassign int) *prim.Program {
+	rng := rand.New(rand.NewSource(seed))
+	p := &prim.Program{}
+	for i := 0; i < nsyms; i++ {
+		p.AddSym(prim.Symbol{Name: fmt.Sprintf("s%d", i), Kind: prim.SymGlobal})
+	}
+	pick := func() prim.SymID { return prim.SymID(rng.Intn(nsyms)) }
+	for i := 0; i < nassign; i++ {
+		a := prim.Assign{Dst: pick(), Src: pick(), Strength: prim.Strong}
+		switch rng.Intn(10) {
+		case 0:
+			a.Kind = prim.Base
+		case 1:
+			a.Kind = prim.StoreInd
+		case 2:
+			a.Kind = prim.LoadInd
+		default:
+			a.Kind = prim.Simple
+		}
+		p.AddAssign(a)
+	}
+	return p
+}
+
+// allSets snapshots every symbol's points-to set as plain slices.
+func allSets(p *prim.Program, r *Result) [][]prim.SymID {
+	out := make([][]prim.SymID, len(p.Syms))
+	for i := range p.Syms {
+		out[i] = append([]prim.SymID(nil), r.PointsTo(prim.SymID(i))...)
+	}
+	return out
+}
+
+// TestSnapshotMatchesAtAnyWorkerCount solves the same workload with the
+// snapshot build bounded to different worker counts; every points-to set
+// and every metric must be identical.
+func TestSnapshotMatchesAtAnyWorkerCount(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		p := randProgram(seed, 120, 400)
+		cfg := DefaultConfig()
+		cfg.Jobs = 1
+		r1, err := Solve(pts.NewMemSource(p), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := allSets(p, r1)
+		for _, jobs := range []int{2, 8} {
+			cfg.Jobs = jobs
+			rj, err := Solve(pts.NewMemSource(p), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(want, allSets(p, rj)) {
+				t.Errorf("seed %d: points-to sets differ between jobs=1 and jobs=%d", seed, jobs)
+			}
+			if r1.Metrics() != rj.Metrics() {
+				t.Errorf("seed %d jobs=%d: metrics differ:\n  jobs=1: %+v\n  jobs=%d: %+v",
+					seed, jobs, r1.Metrics(), jobs, rj.Metrics())
+			}
+		}
+	}
+}
+
+// TestSnapshotMatchesEveryConfig checks the frozen query path against all
+// ablation configurations — the snapshot must not depend on which
+// fixpoint optimizations ran.
+func TestSnapshotMatchesEveryConfig(t *testing.T) {
+	p := randProgram(3, 80, 260)
+	var want [][]prim.SymID
+	for i, cfg := range []Config{
+		DefaultConfig(),
+		{Cache: true, DemandLoad: true},
+		{CycleElim: true, DemandLoad: true},
+		{DemandLoad: true},
+		{},
+	} {
+		r, err := Solve(pts.NewMemSource(p), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := allSets(p, r)
+		if i == 0 {
+			want = got
+			continue
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("config %+v: points-to sets differ from DefaultConfig", cfg)
+		}
+	}
+}
+
+// TestConcurrentPointsTo hammers a solved Result from many goroutines.
+// Run under -race this verifies the frozen snapshot is truly read-only:
+// queries share the materialized sets with no synchronization.
+func TestConcurrentPointsTo(t *testing.T) {
+	p := randProgram(11, 150, 500)
+	r, err := Solve(pts.NewMemSource(p), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := allSets(p, r)
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for rep := 0; rep < 20; rep++ {
+				for i := range p.Syms {
+					got := r.PointsTo(prim.SymID(i))
+					if len(got) != len(want[i]) {
+						t.Errorf("goroutine %d: pts(%d) has %d elements, want %d",
+							g, i, len(got), len(want[i]))
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -13,6 +13,7 @@ import (
 	"cla/internal/cpp"
 	"cla/internal/frontend"
 	"cla/internal/linker"
+	"cla/internal/parallel"
 	"cla/internal/prim"
 	"cla/internal/pts"
 	"cla/internal/pts/bitvec"
@@ -72,22 +73,45 @@ func ParseSolver(name string) (Solver, error) {
 	return 0, fmt.Errorf("unknown solver %q (want pretrans, worklist, steens, bitvec or onelevel)", name)
 }
 
-// CompileUnits compiles the named units through loader and links them.
+// CompileUnits compiles the named units through loader and links them,
+// using every available core; see CompileUnitsJobs.
 func CompileUnits(units []string, loader cpp.Loader, opts frontend.Options) (*prim.Program, error) {
-	var progs []*prim.Program
-	for _, u := range units {
-		p, err := frontend.CompileFile(u, loader, opts)
+	return CompileUnitsJobs(units, loader, opts, 0)
+}
+
+// CompileUnitsJobs compiles the named units on up to jobs workers
+// (jobs <= 0 means GOMAXPROCS) and links the results with the parallel
+// tree merge. Each translation unit is an independent compile — its own
+// preprocessor pass over its own includes — so units fan out freely;
+// results land in unit order, making the output identical to a
+// sequential compile followed by a left-fold link. A per-unit failure is
+// wrapped with the unit path, and with several failures the lowest-
+// numbered unit's error is reported, matching sequential behaviour.
+func CompileUnitsJobs(units []string, loader cpp.Loader, opts frontend.Options, jobs int) (*prim.Program, error) {
+	progs := make([]*prim.Program, len(units))
+	err := parallel.ForEach(jobs, len(units), func(i int) error {
+		p, err := frontend.CompileFile(units[i], loader, opts)
 		if err != nil {
-			return nil, err
+			return fmt.Errorf("driver: compile %s: %w", units[i], err)
 		}
-		progs = append(progs, p)
+		progs[i] = p
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return linker.Link(progs)
+	return linker.LinkParallel(progs, jobs)
 }
 
 // CompileDir compiles every .c file under dir (sorted) with dir on the
-// include path and links the results.
+// include path and links the results, using every available core.
 func CompileDir(dir string, opts frontend.Options) (*prim.Program, error) {
+	return CompileDirJobs(dir, opts, 0)
+}
+
+// CompileDirJobs is CompileDir with an explicit worker bound (jobs <= 0
+// means GOMAXPROCS).
+func CompileDirJobs(dir string, opts frontend.Options, jobs int) (*prim.Program, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -103,11 +127,12 @@ func CompileDir(dir string, opts frontend.Options) (*prim.Program, error) {
 		return nil, fmt.Errorf("driver: no .c files in %s", dir)
 	}
 	loader := cpp.OSLoader{Dirs: []string{dir}}
-	return CompileUnits(units, loader, opts)
+	return CompileUnitsJobs(units, loader, opts, jobs)
 }
 
-// Analyze runs the selected solver over src. cfg applies only to the
-// pre-transitive solver.
+// Analyze runs the selected solver over src. cfg applies to the
+// pre-transitive solver; cfg.Jobs also bounds the bit-vector solver's
+// final-set materialization.
 func Analyze(src pts.Source, solver Solver, cfg core.Config) (pts.Result, error) {
 	switch solver {
 	case PreTransitive:
@@ -117,7 +142,7 @@ func Analyze(src pts.Source, solver Solver, cfg core.Config) (pts.Result, error)
 	case Steensgaard:
 		return steens.Solve(src)
 	case BitVector:
-		return bitvec.Solve(src)
+		return bitvec.SolveJobs(src, cfg.Jobs)
 	case OneLevel:
 		return onelevel.Solve(src)
 	}

@@ -1,13 +1,17 @@
 package driver
 
 import (
+	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"cla/internal/core"
 	"cla/internal/cpp"
 	"cla/internal/frontend"
+	"cla/internal/objfile"
 	"cla/internal/pts"
 )
 
@@ -101,5 +105,62 @@ func TestAnalyzeUnknownSolver(t *testing.T) {
 func TestCompileUnitsBadFile(t *testing.T) {
 	if _, err := CompileUnits([]string{"missing.c"}, cpp.MapLoader{}, frontend.Options{}); err == nil {
 		t.Error("missing unit accepted")
+	}
+}
+
+func TestCompileUnitsErrorNamesUnit(t *testing.T) {
+	files := cpp.MapLoader{
+		"good.c": "int g;\n",
+		"bad.c":  "int broken(",
+	}
+	_, err := CompileUnits([]string{"good.c", "bad.c"}, files, frontend.Options{})
+	if err == nil {
+		t.Fatal("bad unit accepted")
+	}
+	if !strings.Contains(err.Error(), "bad.c") {
+		t.Errorf("error does not name the failing unit: %v", err)
+	}
+}
+
+func TestCompileUnitsErrorIsLowestUnit(t *testing.T) {
+	// With several failures the first unit's error must win regardless of
+	// worker scheduling, matching a sequential compile loop.
+	files := cpp.MapLoader{"z.c": "int ok;\n"}
+	units := []string{"a-missing.c", "z.c", "b-missing.c"}
+	for _, jobs := range []int{1, 4} {
+		_, err := CompileUnitsJobs(units, files, frontend.Options{}, jobs)
+		if err == nil {
+			t.Fatal("missing units accepted")
+		}
+		if !strings.Contains(err.Error(), "a-missing.c") {
+			t.Errorf("jobs=%d: want first unit's error, got: %v", jobs, err)
+		}
+	}
+}
+
+func TestCompileDirJobsDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	for i := 0; i < 9; i++ {
+		src := fmt.Sprintf("int g%[1]d, *p%[1]d;\nvoid f%[1]d(void) { p%[1]d = &g%[1]d; }\n", i)
+		if err := os.WriteFile(filepath.Join(dir, fmt.Sprintf("u%d.c", i)), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dump := func(jobs int) []byte {
+		prog, err := CompileDirJobs(dir, frontend.Options{}, jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := objfile.Write(&buf, prog); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	want := dump(1)
+	for _, jobs := range []int{2, 8} {
+		if !bytes.Equal(want, dump(jobs)) {
+			t.Errorf("jobs=%d: database differs from sequential compile", jobs)
+		}
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"cla/internal/objfile"
+	"cla/internal/parallel"
 	"cla/internal/prim"
 )
 
@@ -93,6 +94,22 @@ func Link(units []*prim.Program) (*prim.Program, error) {
 		}
 	}
 	return out, nil
+}
+
+// LinkParallel merges unit databases with a pairwise tree merge of
+// O(log N) depth, merging the pairs of each round on up to jobs workers
+// (jobs <= 0 means GOMAXPROCS). The merge is associative over adjacent
+// units — symbols are appended in first-seen unit order, attribute
+// merging (types, locations, function records) takes the first or
+// maximal value in unit order — so the output is byte-identical to the
+// sequential left fold of Link (asserted by the linker tests).
+func LinkParallel(units []*prim.Program, jobs int) (*prim.Program, error) {
+	if len(units) <= 2 || parallel.Workers(jobs) == 1 {
+		return Link(units)
+	}
+	return parallel.Reduce(jobs, units, func(a, b *prim.Program) (*prim.Program, error) {
+		return Link([]*prim.Program{a, b})
+	})
 }
 
 // compatibleKinds reports whether two linked symbol kinds may unify.

@@ -1,6 +1,8 @@
 package linker
 
 import (
+	"bytes"
+	"fmt"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -289,5 +291,57 @@ func TestLinkDeterministic(t *testing.T) {
 	sort.Strings(n2)
 	if strings.Join(n1, ",") != strings.Join(n2, ",") {
 		t.Error("linking is not deterministic")
+	}
+}
+
+// manyUnits compiles n synthetic translation units with cross-unit
+// references: every unit defines its own globals and assigns through the
+// shared pointer table, so link order is observable in the merged symbol
+// table and assignment list.
+func manyUnits(t *testing.T, n int) []*prim.Program {
+	t.Helper()
+	units := make([]*prim.Program, n)
+	for i := 0; i < n; i++ {
+		src := fmt.Sprintf(`extern int *shared;
+int obj%[1]d, *loc%[1]d;
+void f%[1]d(void) { loc%[1]d = &obj%[1]d; shared = loc%[1]d; }`, i)
+		if i == 0 {
+			src = "int *shared;\n" + src
+		}
+		units[i] = compileUnit(t, fmt.Sprintf("u%d.c", i), src)
+	}
+	return units
+}
+
+func dumpProgram(t *testing.T, p *prim.Program) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := objfile.Write(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestLinkParallelMatchesSequential(t *testing.T) {
+	// The tree merge must be byte-identical to the sequential left fold
+	// for every worker count, including unit counts that do not divide
+	// evenly into pairs.
+	for _, n := range []int{1, 2, 3, 7, 33} {
+		units := manyUnits(t, n)
+		seq, err := Link(units)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := dumpProgram(t, seq)
+		for _, jobs := range []int{1, 2, 8} {
+			// Link mutates nothing, so the same units can be relinked.
+			par, err := LinkParallel(units, jobs)
+			if err != nil {
+				t.Fatalf("n=%d jobs=%d: %v", n, jobs, err)
+			}
+			if !bytes.Equal(want, dumpProgram(t, par)) {
+				t.Errorf("n=%d jobs=%d: parallel link differs from sequential fold", n, jobs)
+			}
+		}
 	}
 }

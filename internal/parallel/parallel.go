@@ -1,0 +1,132 @@
+// Package parallel is the concurrency toolkit threading the CLA pipeline
+// across cores: bounded index-parallel loops, contiguous sharding with
+// per-worker state, and a pairwise tree reduction. Every helper preserves
+// deterministic output ordering — workers communicate only through
+// index-addressed slots, never through shared accumulators — so running
+// with -j 1 and -j N produces identical results.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a -j style job count: values <= 0 select
+// runtime.GOMAXPROCS(0).
+func Workers(j int) int {
+	if j <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return j
+}
+
+// ForEach runs fn(0)..fn(n-1) on up to j workers (j <= 0 means
+// GOMAXPROCS) and waits for all of them. Every index runs even when an
+// earlier one fails, and the returned error is the lowest-indexed
+// failure — the same error a sequential loop would have reported first,
+// regardless of scheduling.
+func ForEach(j, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	j = Workers(j)
+	if j > n {
+		j = n
+	}
+	if j == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < j; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Shard partitions [0, n) into at most j near-equal contiguous ranges and
+// runs fn(worker, lo, hi) for each range on its own goroutine. The worker
+// index lets fn own per-worker scratch (epoch arrays, accumulators) that
+// is merged deterministically by the caller afterwards. The returned
+// error is the lowest-worker failure.
+func Shard(j, n int, fn func(worker, lo, hi int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	j = Workers(j)
+	if j > n {
+		j = n
+	}
+	per := n / j
+	rem := n % j
+	bounds := make([]int, j+1)
+	for w, lo := 0, 0; w < j; w++ {
+		hi := lo + per
+		if w < rem {
+			hi++
+		}
+		bounds[w], bounds[w+1] = lo, hi
+		lo = hi
+	}
+	return ForEach(j, j, func(w int) error {
+		return fn(w, bounds[w], bounds[w+1])
+	})
+}
+
+// Reduce folds items down to one value by rounds of adjacent pairwise
+// merges — a balanced tree of O(log n) depth whose pairs within each
+// round run in parallel. For the result to equal the sequential left
+// fold, merge must be associative over adjacent elements (the linker's
+// database merge is; see TestLinkParallelMatchesSequential). An empty
+// input returns the zero value.
+func Reduce[T any](j int, items []T, merge func(a, b T) (T, error)) (T, error) {
+	var zero T
+	switch len(items) {
+	case 0:
+		return zero, nil
+	case 1:
+		return items[0], nil
+	}
+	cur := append([]T(nil), items...)
+	for len(cur) > 1 {
+		next := make([]T, (len(cur)+1)/2)
+		err := ForEach(j, len(next), func(i int) error {
+			if 2*i+1 >= len(cur) {
+				next[i] = cur[2*i]
+				return nil
+			}
+			m, err := merge(cur[2*i], cur[2*i+1])
+			next[i] = m
+			return err
+		})
+		if err != nil {
+			return zero, err
+		}
+		cur = next
+	}
+	return cur[0], nil
+}

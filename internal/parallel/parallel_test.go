@@ -1,0 +1,120 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(5); got != 5 {
+		t.Errorf("Workers(5) = %d", got)
+	}
+}
+
+func TestForEachRunsEveryIndexOnce(t *testing.T) {
+	for _, j := range []int{1, 2, 8, 100} {
+		n := 237
+		counts := make([]int32, n)
+		err := ForEach(j, n, func(i int) error {
+			atomic.AddInt32(&counts[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("j=%d: %v", j, err)
+		}
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("j=%d: index %d ran %d times", j, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachReportsLowestError(t *testing.T) {
+	boom := func(i int) error {
+		if i == 7 || i == 100 {
+			return fmt.Errorf("task %d failed", i)
+		}
+		return nil
+	}
+	for _, j := range []int{1, 4, 16} {
+		err := ForEach(j, 200, boom)
+		if err == nil || err.Error() != "task 7 failed" {
+			t.Errorf("j=%d: err = %v, want lowest-index failure", j, err)
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := ForEach(4, 0, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShardCoversRangeExactly(t *testing.T) {
+	for _, tc := range []struct{ j, n int }{{1, 10}, {3, 10}, {4, 4}, {8, 3}, {7, 100}} {
+		covered := make([]int32, tc.n)
+		err := Shard(tc.j, tc.n, func(w, lo, hi int) error {
+			if lo > hi {
+				return fmt.Errorf("worker %d: lo %d > hi %d", w, lo, hi)
+			}
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&covered[i], 1)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("j=%d n=%d: %v", tc.j, tc.n, err)
+		}
+		for i, c := range covered {
+			if c != 1 {
+				t.Fatalf("j=%d n=%d: index %d covered %d times", tc.j, tc.n, i, c)
+			}
+		}
+	}
+}
+
+func TestReduceMatchesSequentialFold(t *testing.T) {
+	// String concatenation is associative, so the tree must reproduce the
+	// left fold exactly for any worker count and length.
+	for n := 0; n < 20; n++ {
+		items := make([]string, n)
+		want := ""
+		for i := range items {
+			items[i] = fmt.Sprintf("<%d>", i)
+			want += items[i]
+		}
+		for _, j := range []int{1, 2, 8} {
+			got, err := Reduce(j, items, func(a, b string) (string, error) {
+				return a + b, nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Errorf("n=%d j=%d: got %q, want %q", n, j, got, want)
+			}
+		}
+	}
+}
+
+func TestReduceError(t *testing.T) {
+	_, err := Reduce(4, []int{1, 2, 3, 4, 5}, func(a, b int) (int, error) {
+		if b == 4 {
+			return 0, errors.New("bad pair")
+		}
+		return a + b, nil
+	})
+	if err == nil {
+		t.Error("merge error not surfaced")
+	}
+}

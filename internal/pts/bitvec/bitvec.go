@@ -9,6 +9,7 @@ package bitvec
 import (
 	"math/bits"
 
+	"cla/internal/parallel"
 	"cla/internal/prim"
 	"cla/internal/pts"
 )
@@ -73,8 +74,19 @@ type solver struct {
 	m    pts.Metrics
 }
 
-// Solve runs the bit-vector Andersen analysis.
+// Solve runs the bit-vector Andersen analysis, materializing the final
+// sets on every available core; see SolveJobs.
 func Solve(src pts.Source) (*Result, error) {
+	return SolveJobs(src, 0)
+}
+
+// SolveJobs runs the bit-vector Andersen analysis with the final-set
+// materialization (population counts for the PointerVars/Relations
+// accounting) sharded across up to jobs workers (jobs <= 0 means
+// GOMAXPROCS). The fixpoint itself is single-threaded; workers only read
+// the solved vectors and accumulate privately, so results are identical
+// at any worker count.
+func SolveJobs(src pts.Source, jobs int) (*Result, error) {
 	s := &solver{
 		src: src, n: src.NumSyms(),
 		bitOf:     map[prim.SymID]int{},
@@ -203,17 +215,27 @@ func Solve(src pts.Source) (*Result, error) {
 		s.m.InFile += c
 	}
 	res := &Result{pt: s.pt[:s.n], lvals: s.lvals, n: s.n, m: s.m}
-	for i := 0; i < s.n; i++ {
-		if !pts.CountedAsPointerVar(src.Sym(prim.SymID(i)).Kind) {
-			continue
+	w := parallel.Workers(jobs)
+	vars := make([]int, w)
+	rels := make([]int, w)
+	parallel.Shard(jobs, s.n, func(wk, lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			if !pts.CountedAsPointerVar(src.Sym(prim.SymID(i)).Kind) {
+				continue
+			}
+			if s.pt[i] == nil {
+				continue
+			}
+			if c := s.pt[i].count(); c > 0 {
+				vars[wk]++
+				rels[wk] += c
+			}
 		}
-		if s.pt[i] == nil {
-			continue
-		}
-		if c := s.pt[i].count(); c > 0 {
-			res.m.PointerVars++
-			res.m.Relations += c
-		}
+		return nil
+	})
+	for i := 0; i < w; i++ {
+		res.m.PointerVars += vars[i]
+		res.m.Relations += rels[i]
 	}
 	return res, nil
 }
