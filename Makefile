@@ -1,0 +1,31 @@
+# Convenience targets for the CLA reproduction. `make check` is the
+# tier-1 verification from ROADMAP.md plus the race extras; CI and
+# pre-merge runs should use it.
+
+GO ?= go
+
+.PHONY: all build check test vet race bench clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Race extras: the parallel pipeline and the checks engine must stay
+# race-clean and deterministic at any -j.
+race:
+	$(GO) test -race ./internal/core ./internal/driver ./internal/linker ./internal/parallel ./internal/checks
+
+check: build vet test race
+
+bench:
+	$(GO) test -bench=. -benchmem ./internal/bench
+
+clean:
+	$(GO) clean ./...

@@ -10,6 +10,7 @@
 //	clabench -table 6                    # five-solver comparison (§6)
 //	clabench -table 7                    # §4 database transformations
 //	clabench -table 8 -j 8               # sequential vs parallel pipeline
+//	clabench -table 9                    # analysis clients (clalint checks)
 //	clabench -all                        # everything
 //
 // Absolute times depend on the host; the shapes (who wins, by what
@@ -28,26 +29,27 @@ import (
 
 func main() {
 	var (
-		table    = flag.Int("table", 0, "table to regenerate (2-8)")
-		all      = flag.Bool("all", false, "regenerate every table")
-		scale    = flag.Float64("scale", 1.0, "workload scale factor")
-		seed     = flag.Int64("seed", 1, "generation seed")
-		profile  = flag.String("profile", "gimp", "profile for the ablation table")
-		ablScale = flag.Float64("ablation-scale", 0.1, "scale for the ablation (the naive configuration is very slow at full scale, as the paper reports)")
-		jobs     = flag.Int("j", runtime.GOMAXPROCS(0), "worker count for the parallel-pipeline table")
-		jsonOut  = flag.String("json", "BENCH_parallel.json", "file recording the parallel-pipeline rows (empty to skip)")
+		table     = flag.Int("table", 0, "table to regenerate (2-9)")
+		all       = flag.Bool("all", false, "regenerate every table")
+		scale     = flag.Float64("scale", 1.0, "workload scale factor")
+		seed      = flag.Int64("seed", 1, "generation seed")
+		profile   = flag.String("profile", "gimp", "profile for the ablation table")
+		ablScale  = flag.Float64("ablation-scale", 0.1, "scale for the ablation (the naive configuration is very slow at full scale, as the paper reports)")
+		jobs      = flag.Int("j", runtime.GOMAXPROCS(0), "worker count for the parallel-pipeline table")
+		jsonOut   = flag.String("json", "BENCH_parallel.json", "file recording the parallel-pipeline rows (empty to skip)")
+		checksOut = flag.String("checks-json", "BENCH_checks.json", "file recording the analysis-client rows (empty to skip)")
 	)
 	flag.Parse()
 
-	if !*all && (*table < 2 || *table > 8) {
-		fmt.Fprintln(os.Stderr, "clabench: pass -all or -table 2..8")
+	if !*all && (*table < 2 || *table > 9) {
+		fmt.Fprintln(os.Stderr, "clabench: pass -all or -table 2..9")
 		os.Exit(2)
 	}
 
 	need := func(t int) bool { return *all || *table == t }
 
 	var workloads []*bench.Workload
-	if need(2) || need(3) || need(4) || need(6) || need(7) {
+	if need(2) || need(3) || need(4) || need(6) || need(7) || need(9) {
 		fmt.Fprintf(os.Stderr, "clabench: building %d workloads at scale %g...\n",
 			len(gen.Table2), *scale)
 		var err error
@@ -158,6 +160,22 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Fprintf(os.Stderr, "clabench: wrote %s\n", *jsonOut)
+		}
+	}
+	if need(9) {
+		fmt.Println("== Analysis clients: call graph, MOD/REF, escape, deref over the solved analysis ==")
+		rows, err := bench.RunChecksAll(workloads, *jobs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "clabench: %v\n", err)
+			os.Exit(1)
+		}
+		bench.FormatChecks(os.Stdout, rows)
+		if *checksOut != "" {
+			if err := bench.WriteChecksJSON(*checksOut, rows); err != nil {
+				fmt.Fprintf(os.Stderr, "clabench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "clabench: wrote %s\n", *checksOut)
 		}
 	}
 }

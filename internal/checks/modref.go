@@ -1,0 +1,137 @@
+package checks
+
+import (
+	"sort"
+
+	"cla/internal/parallel"
+	"cla/internal/prim"
+)
+
+// Summary is one function's MOD/REF summary: the abstract objects it may
+// write (MOD) or read (REF) through pointer dereferences, both directly in
+// its own body and transitively through the functions it may call
+// (following the points-to-resolved call graph).
+type Summary struct {
+	// Func is the function name ("" collects file-scope initializers).
+	Func string `json:"func"`
+	// Mod and Ref are sorted object names, including callees' effects.
+	Mod []string `json:"mod"`
+	Ref []string `json:"ref"`
+	// DirectMod and DirectRef restrict to the function's own body.
+	DirectMod []string `json:"direct_mod"`
+	DirectRef []string `json:"direct_ref"`
+}
+
+// symSet is a points-to-object accumulator.
+type symSet map[prim.SymID]struct{}
+
+// addPts inserts every non-temporary object of set.
+func (s symSet) addPts(ix *index, set []prim.SymID) {
+	for _, z := range set {
+		if ix.sym(z).Kind == prim.SymTemp {
+			continue
+		}
+		s[z] = struct{}{}
+	}
+}
+
+// union inserts every element of other, reporting whether s grew.
+func (s symSet) union(other symSet) bool {
+	grew := false
+	for z := range other {
+		if _, ok := s[z]; !ok {
+			s[z] = struct{}{}
+			grew = true
+		}
+	}
+	return grew
+}
+
+// names renders the set as sorted symbol names.
+func (s symSet) names(ix *index) []string {
+	ids := make([]prim.SymID, 0, len(s))
+	for z := range s {
+		ids = append(ids, z)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]string, 0, len(ids))
+	for _, z := range ids {
+		out = append(out, ix.name(z))
+	}
+	sort.Strings(out)
+	return dedupStrings(out)
+}
+
+// modrefSummaries computes per-scope direct MOD/REF sets in parallel, then
+// propagates them bottom-up over the call graph to a fixpoint. The
+// fixpoint is unique, so the result is identical at every jobs setting.
+func modrefSummaries(ix *index, g *Graph, jobs int) ([]Summary, error) {
+	type direct struct{ mod, ref symSet }
+	scopes := ix.scopes
+	dir := make([]direct, len(scopes))
+	err := parallel.ForEach(jobs, len(scopes), func(i int) error {
+		d := direct{mod: symSet{}, ref: symSet{}}
+		for _, ai := range ix.assignsByScope[scopes[i]] {
+			a := &ix.prog.Assigns[ai]
+			switch a.Kind {
+			case prim.StoreInd:
+				d.mod.addPts(ix, ix.res.PointsTo(a.Dst))
+			case prim.LoadInd:
+				d.ref.addPts(ix, ix.res.PointsTo(a.Src))
+			case prim.CopyInd:
+				d.mod.addPts(ix, ix.res.PointsTo(a.Dst))
+				d.ref.addPts(ix, ix.res.PointsTo(a.Src))
+			}
+		}
+		dir[i] = d
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Transitive closure over the call graph: iterate until no summary
+	// grows. Cycles (recursion) converge because unions are monotone.
+	idx := make(map[string]int, len(scopes))
+	for i, s := range scopes {
+		idx[s] = i
+	}
+	mod := make([]symSet, len(scopes))
+	ref := make([]symSet, len(scopes))
+	for i := range scopes {
+		mod[i] = symSet{}
+		ref[i] = symSet{}
+		mod[i].union(dir[i].mod)
+		ref[i].union(dir[i].ref)
+	}
+	callees := g.CalleesOf()
+	for changed := true; changed; {
+		changed = false
+		for i, s := range scopes {
+			for _, callee := range callees[s] {
+				j, ok := idx[callee]
+				if !ok {
+					continue // callee with no body in the database
+				}
+				if mod[i].union(mod[j]) {
+					changed = true
+				}
+				if ref[i].union(ref[j]) {
+					changed = true
+				}
+			}
+		}
+	}
+
+	out := make([]Summary, len(scopes))
+	for i, s := range scopes {
+		out[i] = Summary{
+			Func:      s,
+			Mod:       mod[i].names(ix),
+			Ref:       ref[i].names(ix),
+			DirectMod: dir[i].mod.names(ix),
+			DirectRef: dir[i].ref.names(ix),
+		}
+	}
+	return out, nil
+}

@@ -40,7 +40,10 @@ func (c ctx) through(op prim.Op, arg int) ctx {
 	return out
 }
 
-func (b *builder) emit(a prim.Assign) { b.prog.AddAssign(a) }
+func (b *builder) emit(a prim.Assign) {
+	a.Func = b.curFuncName
+	b.prog.AddAssign(a)
+}
 
 // emitFlow emits the primitive assignment dst <- src with context c.
 // Combinations outside the five primitive forms are normalized with a
@@ -473,6 +476,13 @@ func (b *builder) call(v *cc.CallExpr) ref {
 		// Indirect call through a pointer variable.
 		b.markFuncPtr(fn)
 	}
+	b.prog.AddCall(prim.CallSite{
+		Callee:   fn,
+		Caller:   b.curFuncName,
+		Loc:      locOf(v.Pos_),
+		Indirect: callee.kind == refObj,
+		Args:     len(v.Args),
+	})
 	for i, a := range v.Args {
 		p := b.paramSym(fn, i)
 		b.assignTo(ref{kind: refObj, sym: p}, a, ctx{op: prim.OpCopy, strength: prim.Strong})

@@ -63,6 +63,14 @@ func Link(units []*prim.Program) (*prim.Program, error) {
 			out.AddAssign(a)
 		}
 
+		for _, c := range u.Calls {
+			if int(c.Callee) < 0 || int(c.Callee) >= len(remap) {
+				return nil, fmt.Errorf("linker: unit %d has call site with bad symbol", ui)
+			}
+			c.Callee = remap[c.Callee]
+			out.AddCall(c)
+		}
+
 		for _, f := range u.Funcs {
 			if int(f.Func) < 0 || int(f.Func) >= len(remap) {
 				return nil, fmt.Errorf("linker: unit %d has function record with bad symbol", ui)

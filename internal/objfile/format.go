@@ -13,12 +13,13 @@
 //	          {name u32, type u32, file u32, funcName u32, line i32,
 //	           kind u8, flags u8, pad u16}
 //	static:   address-of assignments (x = &y), always loaded by the
-//	          points-to analysis: u32 count, then 16-byte records
-//	          {dst u32, src u32, line i32, op u8, strength u8, pad u16}
+//	          points-to analysis: u32 count, then 24-byte records
+//	          {dst u32, src u32, file u32, line i32, func u32,
+//	           op u8, strength u8, pad u16}
 //	blocks:   the dynamic section: one block per object, holding the
 //	          primitive assignments whose *source* is that object; each
-//	          entry is 12 bytes {kind u8, op u8, strength u8, pad u8,
-//	          dst u32, line i32}
+//	          entry is 20 bytes {kind u8, op u8, strength u8, pad u8,
+//	          dst u32, file u32, line i32, func u32}
 //	blockidx: per-symbol index into blocks: numSyms × {offset u64,
 //	          count u32} — supports one-lookup demand loading
 //	funcs:    function records for call linking: u32 count, then
@@ -26,6 +27,9 @@
 //	           nparams u32, params u32...}
 //	targets:  sorted (name, sym) pairs for target lookup by name:
 //	          u32 count, then {name u32, sym u32}, ordered by string
+//	calls:    call-site records for analysis clients: u32 count, then
+//	          24-byte records {callee u32, file u32, line i32, caller u32,
+//	          args u32, indirect u8, pad×3}
 //
 // Block entries do not repeat the file name of their location: the file is
 // taken from the source symbol's declaration site when distinct files are
@@ -45,8 +49,9 @@ import (
 // Magic identifies CLA object files.
 const Magic = "CLAO"
 
-// Version is the current format version.
-const Version = 3
+// Version is the current format version. Version 4 added the call-site
+// section and the enclosing-function reference on static and block records.
+const Version = 4
 
 // section ids.
 const (
@@ -57,14 +62,16 @@ const (
 	secBlockIdx
 	secFuncs
 	secTargets
+	secCalls
 	numSections
 )
 
 const (
 	symRecSize   = 24
-	staticRec    = 20 // dst u32, src u32, file u32, line i32, op u8, strength u8, pad u16
-	blockRecSize = 16 // kind u8, op u8, strength u8, pad u8, dst u32, file u32, line i32
+	staticRec    = 24 // dst u32, src u32, file u32, line i32, func u32, op u8, strength u8, pad u16
+	blockRecSize = 20 // kind u8, op u8, strength u8, pad u8, dst u32, file u32, line i32, func u32
 	idxRecSize   = 12
+	callRecSize  = 24 // callee u32, file u32, line i32, caller u32, args u32, indirect u8, pad×3
 )
 
 // flag bits in symbol records.
@@ -82,6 +89,7 @@ type BlockEntry struct {
 	Op       prim.Op
 	Strength prim.Strength
 	Loc      prim.Loc
+	Func     string
 }
 
 // Assign reconstructs the full primitive assignment given the block's
@@ -89,7 +97,7 @@ type BlockEntry struct {
 func (e BlockEntry) Assign(src prim.SymID) prim.Assign {
 	return prim.Assign{
 		Kind: e.Kind, Dst: e.Dst, Src: src,
-		Op: e.Op, Strength: e.Strength, Loc: e.Loc,
+		Op: e.Op, Strength: e.Strength, Loc: e.Loc, Func: e.Func,
 	}
 }
 

@@ -1,0 +1,91 @@
+package objfile
+
+import (
+	"bytes"
+	"testing"
+
+	"cla/internal/prim"
+)
+
+// fuzzSeedProgram builds a small database exercising every section:
+// symbols of several kinds, statics, per-source blocks, function records
+// and call sites.
+func fuzzSeedProgram() *prim.Program {
+	p := &prim.Program{}
+	g := p.AddSym(prim.Symbol{Name: "g", Kind: prim.SymGlobal, Type: "int"})
+	ptr := p.AddSym(prim.Symbol{Name: "p", Kind: prim.SymGlobal, Type: "int *"})
+	fn := p.AddSym(prim.Symbol{Name: "f", Kind: prim.SymFunc, Type: "void (void)"})
+	par := p.AddSym(prim.Symbol{Name: "f$1", Kind: prim.SymParam, FuncName: "f"})
+	ret := p.AddSym(prim.Symbol{Name: "f$ret", Kind: prim.SymRet, FuncName: "f"})
+	loc := p.AddSym(prim.Symbol{Name: "x", Kind: prim.SymLocal, FuncName: "f",
+		Loc: prim.Loc{File: "a.c", Line: 3}})
+	fp := p.AddSym(prim.Symbol{Name: "cb", Kind: prim.SymGlobal, Type: "void (*)(void)", FuncPtr: true})
+
+	p.AddAssign(prim.Assign{Kind: prim.Base, Dst: ptr, Src: g,
+		Loc: prim.Loc{File: "a.c", Line: 1}})
+	p.AddAssign(prim.Assign{Kind: prim.Simple, Dst: loc, Src: par, Func: "f",
+		Loc: prim.Loc{File: "a.c", Line: 4}})
+	p.AddAssign(prim.Assign{Kind: prim.StoreInd, Dst: ptr, Src: loc, Func: "f",
+		Loc: prim.Loc{File: "a.c", Line: 5}})
+	p.AddAssign(prim.Assign{Kind: prim.Base, Dst: fp, Src: fn,
+		Loc: prim.Loc{File: "a.c", Line: 6}})
+	p.Funcs = append(p.Funcs, prim.FuncRecord{Func: fn, Params: []prim.SymID{par}, Ret: ret})
+	p.AddCall(prim.CallSite{Callee: fn, Caller: "main",
+		Loc: prim.Loc{File: "a.c", Line: 7}, Args: 1})
+	p.AddCall(prim.CallSite{Callee: fp, Caller: "main", Indirect: true,
+		Loc: prim.Loc{File: "a.c", Line: 8}})
+	return p
+}
+
+// FuzzReader feeds arbitrary bytes to the object-file reader and every
+// accessor reachable from it. Malformed databases must produce errors,
+// never panics or out-of-range indexing.
+func FuzzReader(f *testing.F) {
+	var buf bytes.Buffer
+	if err := Write(&buf, fuzzSeedProgram()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	// Truncations at interesting boundaries: inside the magic, the
+	// header, the section table, and each section.
+	for _, n := range []int{0, 3, 8, 16, 32, 64, buf.Len() / 2, buf.Len() - 1} {
+		if n >= 0 && n < buf.Len() {
+			f.Add(buf.Bytes()[:n])
+		}
+	}
+	f.Add([]byte("CLAO"))
+	f.Add(bytes.Repeat([]byte{0xff}, 128))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data), int64(len(data)))
+		if err != nil {
+			return
+		}
+		_ = r.Syms()
+		_ = r.Counts()
+		_ = r.Funcs()
+		_ = r.Calls()
+		_ = r.Stats()
+		if _, err := r.Statics(); err != nil {
+			_ = err
+		}
+		n := r.NumSyms()
+		if n > 256 {
+			n = 256
+		}
+		for i := 0; i < n; i++ {
+			_ = r.BlockLen(prim.SymID(i))
+			if _, err := r.Block(prim.SymID(i)); err != nil {
+				continue
+			}
+		}
+		_ = r.TargetLookup("g")
+		if prog, err := r.Program(); err == nil {
+			// A database the reader accepts end-to-end must also be
+			// internally consistent.
+			if verr := prog.Validate(); verr != nil {
+				t.Fatalf("reader accepted inconsistent database: %v", verr)
+			}
+		}
+	})
+}

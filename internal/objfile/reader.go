@@ -26,6 +26,7 @@ type Reader struct {
 	blockOff []int64
 	blockCnt []int32
 	funcs    []prim.FuncRecord
+	calls    []prim.CallSite
 	// targets: sorted names with symbol ids.
 	targetNames []string
 	targetSyms  []prim.SymID
@@ -107,6 +108,9 @@ func NewReader(ra io.ReaderAt, size int64) (*Reader, error) {
 		return nil, err
 	}
 	if err := r.loadTargets(); err != nil {
+		return nil, err
+	}
+	if err := r.loadCalls(); err != nil {
 		return nil, err
 	}
 	return r, nil
@@ -294,6 +298,44 @@ func (r *Reader) loadTargets() error {
 	return nil
 }
 
+func (r *Reader) loadCalls() error {
+	b, err := r.section(secCalls)
+	if err != nil {
+		return err
+	}
+	if len(b) < 4 {
+		return corrupt("call section too small")
+	}
+	n := int(le.Uint32(b))
+	if n < 0 || n > len(b) || len(b) != 4+n*callRecSize {
+		return corrupt("call section size mismatch")
+	}
+	r.calls = make([]prim.CallSite, n)
+	for i := 0; i < n; i++ {
+		rec := b[4+i*callRecSize:]
+		c := prim.CallSite{
+			Callee:   decodeSymID(le.Uint32(rec)),
+			Indirect: rec[20] != 0,
+			Args:     int(le.Uint32(rec[16:])),
+		}
+		file, err := r.str(le.Uint32(rec[4:]))
+		if err != nil {
+			return err
+		}
+		caller, err := r.str(le.Uint32(rec[12:]))
+		if err != nil {
+			return err
+		}
+		c.Loc = prim.Loc{File: file, Line: int32(le.Uint32(rec[8:]))}
+		c.Caller = caller
+		if err := r.checkSym(c.Callee); err != nil {
+			return err
+		}
+		r.calls[i] = c
+	}
+	return nil
+}
+
 func (r *Reader) checkSym(id prim.SymID) error {
 	if id == prim.NoSym {
 		return nil
@@ -319,6 +361,9 @@ func (r *Reader) Counts() [prim.NumKinds]int { return r.counts }
 // Funcs returns the function records.
 func (r *Reader) Funcs() []prim.FuncRecord { return r.funcs }
 
+// Calls returns the call-site records.
+func (r *Reader) Calls() []prim.CallSite { return r.calls }
+
 // Statics decodes the always-loaded address-of section.
 func (r *Reader) Statics() ([]prim.Assign, error) {
 	b, err := r.section(secStatic)
@@ -339,14 +384,19 @@ func (r *Reader) Statics() ([]prim.Assign, error) {
 			Kind:     prim.Base,
 			Dst:      decodeSymID(le.Uint32(rec)),
 			Src:      decodeSymID(le.Uint32(rec[4:])),
-			Op:       prim.Op(rec[16]),
-			Strength: prim.Strength(rec[17]),
+			Op:       prim.Op(rec[20]),
+			Strength: prim.Strength(rec[21]),
 		}
 		file, err := r.str(le.Uint32(rec[8:]))
 		if err != nil {
 			return nil, err
 		}
+		fn, err := r.str(le.Uint32(rec[16:]))
+		if err != nil {
+			return nil, err
+		}
 		a.Loc = prim.Loc{File: file, Line: int32(le.Uint32(rec[12:]))}
+		a.Func = fn
 		if err := r.checkSym(a.Dst); err != nil {
 			return nil, err
 		}
@@ -396,12 +446,17 @@ func (r *Reader) Block(sym prim.SymID) ([]BlockEntry, error) {
 		if err != nil {
 			return nil, err
 		}
+		fn, err := r.str(le.Uint32(rec[16:]))
+		if err != nil {
+			return nil, err
+		}
 		out[i] = BlockEntry{
 			Kind:     kind,
 			Op:       prim.Op(rec[1]),
 			Strength: prim.Strength(rec[2]),
 			Dst:      dst,
 			Loc:      prim.Loc{File: file, Line: int32(le.Uint32(rec[12:]))},
+			Func:     fn,
 		}
 	}
 	r.EntriesLoaded += int64(n)
@@ -453,5 +508,6 @@ func (r *Reader) Program() (*prim.Program, error) {
 		}
 	}
 	p.Funcs = append(p.Funcs, r.funcs...)
+	p.Calls = append(p.Calls, r.calls...)
 	return p, nil
 }

@@ -100,6 +100,7 @@ func Write(w io.Writer, prog *prim.Program) error {
 		static.u32(symID(a.Src))
 		static.u32(pool.add(a.Loc.File))
 		static.i32(a.Loc.Line)
+		static.u32(pool.add(a.Func))
 		static.u8(uint8(a.Op))
 		static.u8(uint8(a.Strength))
 		static.u8(0)
@@ -120,6 +121,7 @@ func Write(w io.Writer, prog *prim.Program) error {
 			blocks.u32(symID(a.Dst))
 			blocks.u32(pool.add(a.Loc.File))
 			blocks.i32(a.Loc.Line)
+			blocks.u32(pool.add(a.Func))
 		}
 		idx.u64(off)
 		idx.u32(uint32(len(as)))
@@ -169,6 +171,25 @@ func Write(w io.Writer, prog *prim.Program) error {
 	for _, t := range targets {
 		tsec.u32(pool.add(t.name))
 		tsec.u32(symID(t.sym))
+	}
+
+	// Call sites.
+	calls := &sections[secCalls]
+	calls.u32(uint32(len(prog.Calls)))
+	for _, c := range prog.Calls {
+		calls.u32(symID(c.Callee))
+		calls.u32(pool.add(c.Loc.File))
+		calls.i32(c.Loc.Line)
+		calls.u32(pool.add(c.Caller))
+		calls.u32(uint32(c.Args))
+		if c.Indirect {
+			calls.u8(1)
+		} else {
+			calls.u8(0)
+		}
+		calls.u8(0)
+		calls.u8(0)
+		calls.u8(0)
 	}
 
 	sections[secStrings].b = pool.buf

@@ -276,6 +276,10 @@ type Assign struct {
 	Op       Op
 	Strength Strength
 	Loc      Loc
+	// Func is the enclosing function's name, or "" for assignments lowered
+	// at file scope (global initializers). Analysis clients use it to
+	// attribute indirect stores and loads to the frame they execute in.
+	Func string
 }
 
 func (a Assign) String() string {
@@ -292,6 +296,26 @@ func (a Assign) String() string {
 		return fmt.Sprintf("*#%d = *#%d", a.Dst, a.Src)
 	}
 	return fmt.Sprintf("invalid assign kind %d", a.Kind)
+}
+
+// CallSite records one function-call expression in the source: the symbol
+// the call goes through (a SymFunc for direct calls, a pointer variable or
+// temporary for indirect calls), the enclosing caller and the source
+// location. The analyze phase does not need call sites — argument/return
+// flow is captured by assignments into standardized parameter symbols —
+// but analysis clients (call-graph construction, MOD/REF propagation) do.
+type CallSite struct {
+	// Callee is the called function symbol (direct calls) or the
+	// function-pointer symbol the call dereferences (indirect calls).
+	Callee SymID
+	// Caller is the enclosing function's name, or "" at file scope.
+	Caller string
+	Loc    Loc
+	// Indirect marks calls through a function pointer; the callee set is
+	// then the points-to set of Callee restricted to functions.
+	Indirect bool
+	// Args is the number of actual arguments at this site.
+	Args int
 }
 
 // FuncRecord describes a function's standardized parameter and return
@@ -311,6 +335,7 @@ type Program struct {
 	Syms    []Symbol
 	Assigns []Assign
 	Funcs   []FuncRecord
+	Calls   []CallSite
 }
 
 // AddSym appends a symbol and returns its id.
@@ -321,6 +346,9 @@ func (p *Program) AddSym(s Symbol) SymID {
 
 // AddAssign appends a primitive assignment.
 func (p *Program) AddAssign(a Assign) { p.Assigns = append(p.Assigns, a) }
+
+// AddCall appends a call-site record.
+func (p *Program) AddCall(c CallSite) { p.Calls = append(p.Calls, c) }
 
 // Sym returns the symbol for id. It panics on out-of-range ids, which
 // indicate database corruption caught earlier by the objfile reader.
@@ -374,6 +402,14 @@ func (p *Program) Validate() error {
 		}
 		if err := checkID(fmt.Sprintf("assignment %d src", i), a.Src); err != nil {
 			return err
+		}
+	}
+	for i, c := range p.Calls {
+		if err := checkID(fmt.Sprintf("call site %d", i), c.Callee); err != nil {
+			return err
+		}
+		if c.Args < 0 {
+			return fmt.Errorf("prim: call site %d has %d args", i, c.Args)
 		}
 	}
 	for i, f := range p.Funcs {

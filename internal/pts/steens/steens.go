@@ -111,9 +111,13 @@ func Solve(src pts.Source) (*Result, error) {
 			}
 			pc = s.find(pc)
 			for _, g := range append([]int32(nil), s.funcsIn[pc]...) {
-				rec, ok := s.recOfFunc[s.find(g)]
+				// funcsIn stores original function sym ids; look the
+				// record up by that id first — find(g) collapses every
+				// function in a unified class onto one representative,
+				// which would link only the representative's params.
+				rec, ok := s.recOfFunc[g]
 				if !ok {
-					rec, ok = s.recOfFunc[g]
+					rec, ok = s.recOfFunc[s.find(g)]
 				}
 				if !ok {
 					continue

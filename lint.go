@@ -1,0 +1,134 @@
+package cla
+
+import (
+	"fmt"
+	"io"
+
+	"cla/internal/checks"
+)
+
+// LintOptions configures an Analysis.Lint run.
+type LintOptions struct {
+	// Checks selects which checks run by name ("callgraph", "modref",
+	// "escape", "deref"); nil means all of them.
+	Checks []string
+	// Jobs bounds the workers used inside each check (0 = all cores,
+	// 1 = sequential). Output is identical at every setting.
+	Jobs int
+}
+
+// Finding is one diagnostic produced by a lint check.
+type Finding struct {
+	// Check is the check that produced the finding.
+	Check string
+	// File and Line locate the finding in the source.
+	File string
+	Line int
+	// Func is the enclosing function, or "" at file scope.
+	Func string
+	// Message describes the finding.
+	Message string
+}
+
+func (f Finding) String() string {
+	if f.Func != "" {
+		return fmt.Sprintf("%s:%d: [%s] %s (in %s)", f.File, f.Line, f.Check, f.Message, f.Func)
+	}
+	return fmt.Sprintf("%s:%d: [%s] %s", f.File, f.Line, f.Check, f.Message)
+}
+
+// ModRefSummary is one function's MOD/REF summary: the abstract objects it
+// may write or read through pointer dereferences, directly in its own body
+// and transitively through the functions it may call.
+type ModRefSummary struct {
+	Func                 string
+	Mod, Ref             []string
+	DirectMod, DirectRef []string
+}
+
+// LintReport is the outcome of an Analysis.Lint run.
+type LintReport struct {
+	rep *checks.Report
+}
+
+// Findings returns every diagnostic, sorted by (file, line, check,
+// message).
+func (r *LintReport) Findings() []Finding {
+	var out []Finding
+	for _, d := range r.rep.Diags {
+		out = append(out, Finding{
+			Check:   string(d.Check),
+			File:    d.Loc.File,
+			Line:    int(d.Loc.Line),
+			Func:    d.Func,
+			Message: d.Message,
+		})
+	}
+	return out
+}
+
+// Format renders the findings one per line.
+func (r *LintReport) Format(w io.Writer) { r.rep.Format(w) }
+
+// CallGraphDOT renders the resolved call graph as a Graphviz digraph
+// (indirect edges dashed), or "" if the callgraph check did not run.
+func (r *LintReport) CallGraphDOT() string {
+	if r.rep.Graph == nil {
+		return ""
+	}
+	return r.rep.Graph.DOT()
+}
+
+// CallGraphJSON renders the resolved call graph (functions, edges and
+// per-site callee sets) as JSON, or nil if the callgraph check did not
+// run.
+func (r *LintReport) CallGraphJSON() ([]byte, error) {
+	if r.rep.Graph == nil {
+		return nil, nil
+	}
+	return r.rep.Graph.JSON()
+}
+
+// ModRef returns per-function MOD/REF summaries sorted by function name,
+// or nil if the modref check did not run.
+func (r *LintReport) ModRef() []ModRefSummary {
+	var out []ModRefSummary
+	for _, s := range r.rep.ModRef {
+		out = append(out, ModRefSummary{
+			Func: s.Func, Mod: s.Mod, Ref: s.Ref,
+			DirectMod: s.DirectMod, DirectRef: s.DirectRef,
+		})
+	}
+	return out
+}
+
+// Lint runs the static-analysis clients over the completed analysis: call
+// graph resolution, MOD/REF summaries, stack-address escape and
+// empty-points-to dereference checks. Output is deterministic at every
+// Jobs setting.
+func (a *Analysis) Lint(opts *LintOptions) (*LintReport, error) {
+	copts := checks.Options{}
+	if opts != nil {
+		cs, err := checks.ParseChecks(opts.Checks)
+		if err != nil {
+			return nil, err
+		}
+		copts.Checks = cs
+		copts.Jobs = opts.Jobs
+	}
+	prog := a.db.prog
+	if a.r != nil {
+		// File-backed analyses materialize symbols only; the checks need
+		// the assignments and call sites too.
+		full, err := a.r.Program()
+		if err != nil {
+			return nil, err
+		}
+		prog = full
+	}
+	rep, err := checks.Run(prog, a.res, copts)
+	if err != nil {
+		return nil, err
+	}
+	return &LintReport{rep: rep}, nil
+}
