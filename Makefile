@@ -4,12 +4,17 @@
 
 GO ?= go
 
-.PHONY: all build check test vet race bench clean
+.PHONY: all build check test vet fmt race bench fuzz-smoke clean
 
 all: build
 
 build:
 	$(GO) build ./...
+
+# gofmt must be a no-op; print the offending files and fail otherwise.
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 test:
 	$(GO) test ./...
@@ -22,10 +27,16 @@ vet:
 race:
 	$(GO) test -race ./internal/core ./internal/driver ./internal/linker ./internal/parallel ./internal/checks
 
-check: build vet test race
+check: build fmt vet test race
 
 bench:
 	$(GO) test -bench=. -benchmem ./internal/bench
+
+# Short fuzz runs over the binary object-file reader and the trace
+# encoder: corrupt inputs must error, never panic or corrupt output.
+fuzz-smoke:
+	$(GO) test -run=^$$ -fuzz=FuzzReader -fuzztime=10s ./internal/objfile
+	$(GO) test -run=^$$ -fuzz=FuzzTrace -fuzztime=10s ./internal/obs
 
 clean:
 	$(GO) clean ./...

@@ -6,6 +6,7 @@ import (
 	"cla/internal/core"
 	"cla/internal/depend"
 	"cla/internal/objfile"
+	"cla/internal/obs"
 	"cla/internal/prim"
 	"cla/internal/pts"
 	"cla/internal/pts/bitvec"
@@ -49,6 +50,16 @@ type AnalyzeOptions struct {
 	// after solving (0 = all available cores, 1 = sequential). Results
 	// are identical at every setting.
 	Jobs int
+	// Observer, when non-nil, records the analyze phase and the solver
+	// counters; read them back with Analysis.Stats (see NewObserver).
+	Observer *Observer
+}
+
+func (o *AnalyzeOptions) observer() *obs.Observer {
+	if o == nil {
+		return nil
+	}
+	return o.Observer.internal()
 }
 
 func (o *AnalyzeOptions) coreConfig() core.Config {
@@ -68,6 +79,7 @@ type Analysis struct {
 	src pts.Source
 	res pts.Result
 	r   *objfile.Reader // non-nil for AnalyzeFile
+	o   *obs.Observer   // non-nil when an Observer was attached
 }
 
 // Analyze runs points-to analysis over the database.
@@ -77,7 +89,7 @@ func (db *Database) Analyze(opts *AnalyzeOptions) (*Analysis, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Analysis{db: db, src: src, res: res}, nil
+	return &Analysis{db: db, src: src, res: res, o: opts.observer()}, nil
 }
 
 // AnalyzeFile opens a serialized database and analyzes it with demand
@@ -94,10 +106,11 @@ func AnalyzeFile(path string, opts *AnalyzeOptions) (*Analysis, error) {
 		r.Close()
 		return nil, err
 	}
+	r.LoadStats().Publish(opts.observer())
 	// Materialize symbols for Object accessors.
 	prog := &prim.Program{Syms: append([]prim.Symbol(nil), r.Syms()...)}
 	db := &Database{prog: prog}
-	return &Analysis{db: db, src: src, res: res, r: r}, nil
+	return &Analysis{db: db, src: src, res: res, r: r, o: opts.observer()}, nil
 }
 
 // Close releases the underlying file for AnalyzeFile analyses.
@@ -113,6 +126,18 @@ func solve(src pts.Source, opts *AnalyzeOptions) (pts.Result, error) {
 	if opts != nil {
 		alg = opts.Algorithm
 	}
+	o := opts.observer()
+	sp := o.Start("analyze")
+	res, err := solveAlg(src, opts, alg)
+	sp.End()
+	if err != nil {
+		return nil, err
+	}
+	res.Metrics().Publish(o)
+	return res, nil
+}
+
+func solveAlg(src pts.Source, opts *AnalyzeOptions, alg Algorithm) (pts.Result, error) {
 	switch alg {
 	case PreTransitive:
 		return core.Solve(src, opts.coreConfig())

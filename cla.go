@@ -25,6 +25,7 @@ import (
 	"cla/internal/frontend"
 	"cla/internal/linker"
 	"cla/internal/objfile"
+	"cla/internal/obs"
 	"cla/internal/prim"
 )
 
@@ -54,6 +55,9 @@ type Options struct {
 	// their databases (0 = all available cores, 1 = sequential). The
 	// output is identical at every setting.
 	Jobs int
+	// Observer, when non-nil, records per-phase timings and counters for
+	// the compile and link work (see NewObserver).
+	Observer *Observer
 }
 
 func (o *Options) frontend() frontend.Options {
@@ -66,6 +70,13 @@ func (o *Options) frontend() frontend.Options {
 		fo.Defines = o.Defines
 	}
 	return fo
+}
+
+func (o *Options) observer() *obs.Observer {
+	if o == nil {
+		return nil
+	}
+	return o.Observer.internal()
 }
 
 func (o *Options) loader() cpp.Loader {
@@ -98,6 +109,8 @@ func CompileSource(name, src string, opts *Options) (*Database, error) {
 }
 
 func compileText(name, src string, loader cpp.Loader, opts *Options) (*Database, error) {
+	sp := opts.observer().Start("compile " + name)
+	defer sp.End()
 	prog, err := frontend.CompileSource(name, src, loader, opts.frontend())
 	if err != nil {
 		return nil, err
@@ -114,7 +127,7 @@ func CompileDir(dir string, opts *Options) (*Database, error) {
 		o = opts.frontend()
 		jobs = opts.Jobs
 	}
-	prog, err := driver.CompileDirJobs(dir, o, jobs)
+	prog, err := driver.CompileDirObs(dir, o, jobs, opts.observer())
 	if err != nil {
 		return nil, err
 	}

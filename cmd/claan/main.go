@@ -1,27 +1,37 @@
 // Claan is the CLA analyze phase: it runs points-to and dependence queries
 // against a linked object database, demand-loading just the blocks the
-// query needs.
+// query needs. It also accepts C sources or a directory, running the
+// compile and link phases in-process first.
 //
 // Usage:
 //
 //	claan -pts p program.cla             # print what p may point to
 //	claan -pts-all program.cla           # print all non-empty points-to sets
 //	claan -target x [-nontarget h] program.cla   # forward dependence from x
-//	claan -stats program.cla             # analysis metrics (Table 3 columns)
+//	claan -stats program.cla             # paper-style per-phase report
+//	claan -stats src/                    # compile+link+analyze a directory
+//	claan -trace out.json program.cla    # Chrome trace of the run
 //	claan -solver pretrans|worklist|steens ...
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
+	"sort"
 	"strings"
 
 	"cla/internal/core"
+	"cla/internal/cpp"
 	"cla/internal/depend"
 	"cla/internal/driver"
+	"cla/internal/frontend"
 	"cla/internal/objfile"
+	"cla/internal/obs"
+	"cla/internal/parallel"
 	"cla/internal/prim"
 	"cla/internal/pts"
 	"cla/internal/xform"
@@ -33,12 +43,11 @@ func main() {
 		ptsAll     = flag.Bool("pts-all", false, "print all non-empty points-to sets")
 		target     = flag.String("target", "", "dependence target object name")
 		nonTargets = flag.String("nontarget", "", "comma-separated non-target names")
-		stats      = flag.Bool("stats", false, "print analysis metrics")
 		solverName = flag.String("solver", "pretrans", "solver: pretrans, worklist, steens or bitvec")
 		noCache    = flag.Bool("no-cache", false, "disable reachability caching")
 		noCycle    = flag.Bool("no-cycle-elim", false, "disable cycle elimination")
 		noDemand   = flag.Bool("no-demand-load", false, "load the whole database upfront")
-		jobs       = flag.Int("j", runtime.GOMAXPROCS(0), "workers for batch queries and result materialization")
+		jobs       = flag.Int("j", runtime.GOMAXPROCS(0), "workers for compilation, batch queries and result materialization")
 		maxDeps    = flag.Int("max", 50, "maximum dependents to print")
 		ovs        = flag.Bool("ovs", false, "apply offline variable substitution before solving")
 		contextSen = flag.Bool("context", false, "apply per-call-site context duplication before solving")
@@ -46,9 +55,10 @@ func main() {
 		tree       = flag.Bool("tree", false, "print dependence results as a tree (with -target)")
 		treeDepth  = flag.Int("tree-depth", 0, "maximum tree depth (0 = unlimited)")
 	)
+	obsFlags := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "claan: exactly one database argument required")
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "claan: need a database, a directory or .c files")
 		os.Exit(2)
 	}
 	solver, err := driver.ParseSolver(*solverName)
@@ -58,7 +68,14 @@ func main() {
 	}
 	cfg := core.Config{Cache: !*noCache, CycleElim: !*noCycle, DemandLoad: !*noDemand, Jobs: *jobs}
 
-	r, err := objfile.Open(flag.Arg(0))
+	o := obsFlags.Observer()
+	parallel.SetObserver(o)
+	if err := obsFlags.Start(); err != nil {
+		fmt.Fprintf(os.Stderr, "claan: %v\n", err)
+		os.Exit(1)
+	}
+
+	r, err := openDatabase(flag.Args(), *jobs, o)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "claan: %v\n", err)
 		os.Exit(1)
@@ -90,7 +107,7 @@ func main() {
 		src = pts.NewMemSource(prog)
 	}
 
-	res, err := driver.Analyze(src, solver, cfg)
+	res, err := driver.AnalyzeObs(src, solver, cfg, o)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "claan: %v\n", err)
 		os.Exit(1)
@@ -124,22 +141,89 @@ func main() {
 		}
 	case *target != "":
 		runDependence(r, src, res, *target, *nonTargets, *maxDeps, *tree, *treeDepth)
-	case *stats:
-		m := res.Metrics()
-		fmt.Printf("solver:        %s\n", solver)
-		fmt.Printf("pointer vars:  %d\n", m.PointerVars)
-		fmt.Printf("relations:     %d\n", m.Relations)
-		fmt.Printf("in core:       %d\n", m.InCore)
-		fmt.Printf("loaded:        %d\n", m.Loaded)
-		fmt.Printf("in file:       %d\n", m.InFile)
-		fmt.Printf("passes:        %d\n", m.Passes)
-		fmt.Printf("unifications:  %d\n", m.Unifications)
+	case obsFlags.Stats:
+		// handled below, once load accounting is final
 	default:
-		if *dotOut == "" {
-			fmt.Fprintln(os.Stderr, "claan: nothing to do (use -pts, -pts-all, -target, -stats or -dot)")
+		if *dotOut == "" && !obsFlags.Any() {
+			fmt.Fprintln(os.Stderr, "claan: nothing to do (use -pts, -pts-all, -target, -stats, -trace or -dot)")
 			os.Exit(2)
 		}
 	}
+
+	// Demand-load accounting covers everything the run touched —
+	// analysis and queries alike — so it is published last.
+	r.LoadStats().Publish(o)
+	if obsFlags.Stats {
+		printStats(os.Stdout, o, solver, src, res, r.LoadStats())
+	}
+	if err := obsFlags.Finish(); err != nil {
+		fmt.Fprintf(os.Stderr, "claan: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// printStats renders the paper-style report: phase spans, database
+// characteristics (Table 2), analysis results (Table 3) and the
+// demand-load accounting, then the remaining registry counters.
+func printStats(w *os.File, o *obs.Observer, solver driver.Solver, src pts.Source, res pts.Result, ls objfile.LoadStats) {
+	var rep obs.Report
+	rep.Sections = append(rep.Sections, o.PhaseSection())
+	rep.Sections = append(rep.Sections, driver.DBSection(src))
+	rep.Sections = append(rep.Sections, driver.AnalysisSection(solver, res.Metrics()))
+	rep.Sections = append(rep.Sections, driver.LoadSection(ls))
+	rep.Sections = append(rep.Sections, driver.CounterSection(o))
+	rep.Format(w)
+}
+
+// openDatabase resolves the inputs to an objfile reader. A single
+// non-.c file opens directly; a directory or .c files are compiled and
+// linked in-process, then round-tripped through the object format in
+// memory so the analysis exercises the real demand-loading path.
+func openDatabase(args []string, jobs int, o *obs.Observer) (*objfile.Reader, error) {
+	if len(args) == 1 {
+		info, err := os.Stat(args[0])
+		if err != nil {
+			return nil, err
+		}
+		if !info.IsDir() && filepath.Ext(args[0]) != ".c" {
+			return objfile.Open(args[0])
+		}
+	}
+	var prog *prim.Program
+	var err error
+	if len(args) == 1 {
+		if info, statErr := os.Stat(args[0]); statErr == nil && info.IsDir() {
+			prog, err = driver.CompileDirObs(args[0], frontend.Options{}, jobs, o)
+		} else {
+			prog, err = compileUnits(args, jobs, o)
+		}
+	} else {
+		prog, err = compileUnits(args, jobs, o)
+	}
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := objfile.Write(&buf, prog); err != nil {
+		return nil, err
+	}
+	return objfile.NewReader(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+}
+
+func compileUnits(args []string, jobs int, o *obs.Observer) (*prim.Program, error) {
+	dirs := map[string]bool{}
+	for _, a := range args {
+		if filepath.Ext(a) != ".c" {
+			return nil, fmt.Errorf("%s: expected .c files (or a single directory or database)", a)
+		}
+		dirs[filepath.Dir(a)] = true
+	}
+	var include []string
+	for d := range dirs {
+		include = append(include, d)
+	}
+	sort.Strings(include)
+	return driver.CompileUnitsObs(args, cpp.OSLoader{Dirs: include}, frontend.Options{}, jobs, o)
 }
 
 // writeDot exports the non-empty points-to relation as a Graphviz digraph:

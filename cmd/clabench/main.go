@@ -25,6 +25,8 @@ import (
 
 	"cla/internal/bench"
 	"cla/internal/gen"
+	"cla/internal/obs"
+	"cla/internal/parallel"
 )
 
 func main() {
@@ -39,12 +41,20 @@ func main() {
 		jsonOut   = flag.String("json", "BENCH_parallel.json", "file recording the parallel-pipeline rows (empty to skip)")
 		checksOut = flag.String("checks-json", "BENCH_checks.json", "file recording the analysis-client rows (empty to skip)")
 	)
+	obsFlags := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
 
 	if !*all && (*table < 2 || *table > 9) {
 		fmt.Fprintln(os.Stderr, "clabench: pass -all or -table 2..9")
 		os.Exit(2)
 	}
+	o := obsFlags.Observer()
+	parallel.SetObserver(o)
+	if err := obsFlags.Start(); err != nil {
+		fmt.Fprintf(os.Stderr, "clabench: %v\n", err)
+		os.Exit(1)
+	}
+	span := func(name string) *obs.Span { return o.Start(name) }
 
 	need := func(t int) bool { return *all || *table == t }
 
@@ -52,8 +62,10 @@ func main() {
 	if need(2) || need(3) || need(4) || need(6) || need(7) || need(9) {
 		fmt.Fprintf(os.Stderr, "clabench: building %d workloads at scale %g...\n",
 			len(gen.Table2), *scale)
+		bsp := span("build workloads")
 		var err error
 		workloads, err = bench.BuildAll(*scale, *seed)
+		bsp.End()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "clabench: %v\n", err)
 			os.Exit(1)
@@ -61,6 +73,7 @@ func main() {
 	}
 
 	if need(2) {
+		tsp := span("table 2")
 		fmt.Println("== Table 2: benchmark characteristics ==")
 		var rows []bench.Row2
 		for _, w := range workloads {
@@ -68,8 +81,10 @@ func main() {
 		}
 		bench.FormatTable2(os.Stdout, rows)
 		fmt.Println()
+		tsp.End()
 	}
 	if need(3) {
+		tsp := span("table 3")
 		fmt.Println("== Table 3: points-to analysis results (field-based, pre-transitive) ==")
 		var rows []bench.Row3
 		for _, w := range workloads {
@@ -82,8 +97,10 @@ func main() {
 		}
 		bench.FormatTable3(os.Stdout, rows)
 		fmt.Println()
+		tsp.End()
 	}
 	if need(4) {
+		tsp := span("table 4")
 		fmt.Println("== Table 4: field-based vs field-independent ==")
 		var rows []bench.Row4
 		for _, w := range workloads {
@@ -96,8 +113,10 @@ func main() {
 		}
 		bench.FormatTable4(os.Stdout, rows)
 		fmt.Println()
+		tsp.End()
 	}
 	if need(5) {
+		tsp := span("table 5")
 		p, ok := gen.ProfileByName(*profile)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "clabench: unknown profile %q\n", *profile)
@@ -117,8 +136,10 @@ func main() {
 		}
 		bench.FormatAblation(os.Stdout, p.Name, rows)
 		fmt.Println()
+		tsp.End()
 	}
 	if need(6) {
+		tsp := span("table 6")
 		fmt.Println("== Section 6 comparison: pre-transitive vs worklist vs bitvec vs one-level vs Steensgaard ==")
 		var rows []bench.RowSolver
 		for _, w := range workloads {
@@ -131,8 +152,10 @@ func main() {
 		}
 		bench.FormatSolvers(os.Stdout, rows)
 		fmt.Println()
+		tsp.End()
 	}
 	if need(7) {
+		tsp := span("table 7")
 		fmt.Println("== Section 4 transformations: offline variable substitution and context duplication ==")
 		var rows []bench.RowXform
 		for _, w := range workloads {
@@ -145,8 +168,10 @@ func main() {
 		}
 		bench.FormatXforms(os.Stdout, rows)
 		fmt.Println()
+		tsp.End()
 	}
 	if need(8) {
+		tsp := span("table 8")
 		fmt.Printf("== Parallel pipeline: -j 1 vs -j %d (compile+link, analyze) ==\n", *jobs)
 		rows, err := bench.RunParallelAll(*scale, *seed, *jobs)
 		if err != nil {
@@ -155,14 +180,17 @@ func main() {
 		}
 		bench.FormatParallel(os.Stdout, rows)
 		if *jsonOut != "" {
-			if err := bench.WriteParallelJSON(*jsonOut, rows); err != nil {
+			meta := bench.NewMeta("parallel-pipeline", *jobs, *scale, *seed)
+			if err := bench.WriteParallelJSON(*jsonOut, rows, meta); err != nil {
 				fmt.Fprintf(os.Stderr, "clabench: %v\n", err)
 				os.Exit(1)
 			}
 			fmt.Fprintf(os.Stderr, "clabench: wrote %s\n", *jsonOut)
 		}
+		tsp.End()
 	}
 	if need(9) {
+		tsp := span("table 9")
 		fmt.Println("== Analysis clients: call graph, MOD/REF, escape, deref over the solved analysis ==")
 		rows, err := bench.RunChecksAll(workloads, *jobs)
 		if err != nil {
@@ -171,11 +199,22 @@ func main() {
 		}
 		bench.FormatChecks(os.Stdout, rows)
 		if *checksOut != "" {
-			if err := bench.WriteChecksJSON(*checksOut, rows); err != nil {
+			meta := bench.NewMeta("analysis-clients", *jobs, *scale, *seed)
+			if err := bench.WriteChecksJSON(*checksOut, rows, meta); err != nil {
 				fmt.Fprintf(os.Stderr, "clabench: %v\n", err)
 				os.Exit(1)
 			}
 			fmt.Fprintf(os.Stderr, "clabench: wrote %s\n", *checksOut)
 		}
+		tsp.End()
+	}
+	if obsFlags.Stats {
+		var rep obs.Report
+		rep.Sections = append(rep.Sections, o.PhaseSection())
+		rep.Format(os.Stdout)
+	}
+	if err := obsFlags.Finish(); err != nil {
+		fmt.Fprintf(os.Stderr, "clabench: %v\n", err)
+		os.Exit(1)
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 
@@ -20,6 +21,7 @@ import (
 	"cla/internal/frontend"
 	"cla/internal/linker"
 	"cla/internal/objfile"
+	"cla/internal/obs"
 	"cla/internal/parallel"
 	"cla/internal/prim"
 )
@@ -44,11 +46,18 @@ func main() {
 	)
 	flag.Var(&includes, "I", "include directory (repeatable)")
 	flag.Var(&defines, "D", "predefine macro NAME[=VALUE] (repeatable)")
+	obsFlags := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
 
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "clacc: no input files")
 		os.Exit(2)
+	}
+	o := obsFlags.Observer()
+	parallel.SetObserver(o)
+	if err := obsFlags.Start(); err != nil {
+		fmt.Fprintf(os.Stderr, "clacc: %v\n", err)
+		os.Exit(1)
 	}
 	opts := frontend.Options{ModelStrings: *strs, Defines: map[string]string{}}
 	switch *mode {
@@ -88,8 +97,12 @@ func main() {
 	// Fan the independent unit compiles out across -j workers; results
 	// land in argument order and the lowest-numbered failure wins, so the
 	// behaviour matches a sequential loop.
+	csp := o.Start("compile")
+	o.SetCounter("compile.units", int64(flag.NArg()))
 	progs := make([]*prim.Program, flag.NArg())
 	if err := parallel.ForEach(*jobs, flag.NArg(), func(i int) error {
+		usp := o.StartTrack(i+1, "unit "+filepath.Base(flag.Arg(i)))
+		defer usp.End()
 		p, err := compileOne(flag.Arg(i))
 		progs[i] = p
 		return err
@@ -97,6 +110,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "clacc: %v\n", err)
 		os.Exit(1)
 	}
+	csp.End()
+	wsp := o.Start("write")
 	for i, in := range flag.Args() {
 		if *out == "" {
 			dst := strings.TrimSuffix(in, ".c") + ".clo"
@@ -106,19 +121,32 @@ func main() {
 			}
 		}
 	}
+	wsp.End()
 	if *out != "" {
 		merged := progs[0]
 		if len(progs) > 1 {
 			var err error
-			merged, err = linker.LinkParallel(progs, *jobs)
+			merged, err = linker.LinkParallelObs(progs, *jobs, o)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "clacc: %v\n", err)
 				os.Exit(1)
 			}
 		}
+		osp := o.Start("write output")
 		if err := objfile.WriteFile(*out, merged); err != nil {
 			fmt.Fprintf(os.Stderr, "clacc: %v\n", err)
 			os.Exit(1)
 		}
+		osp.End()
+	}
+	if obsFlags.Stats {
+		var rep obs.Report
+		rep.Sections = append(rep.Sections, o.PhaseSection())
+		rep.Sections = append(rep.Sections, driver.CounterSection(o))
+		rep.Format(os.Stdout)
+	}
+	if err := obsFlags.Finish(); err != nil {
+		fmt.Fprintf(os.Stderr, "clacc: %v\n", err)
+		os.Exit(1)
 	}
 }

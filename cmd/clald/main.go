@@ -11,27 +11,39 @@ import (
 	"fmt"
 	"os"
 
+	"cla/internal/driver"
 	"cla/internal/linker"
 	"cla/internal/objfile"
+	"cla/internal/obs"
+	"cla/internal/parallel"
 )
 
 func main() {
 	out := flag.String("o", "a.cla", "output database")
 	verbose := flag.Bool("v", false, "print link statistics")
+	obsFlags := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "clald: no input files")
 		os.Exit(2)
 	}
-	merged, err := linker.LinkFiles(flag.Args())
+	o := obsFlags.Observer()
+	parallel.SetObserver(o)
+	if err := obsFlags.Start(); err != nil {
+		fmt.Fprintf(os.Stderr, "clald: %v\n", err)
+		os.Exit(1)
+	}
+	merged, err := linker.LinkFilesObs(flag.Args(), o)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "clald: %v\n", err)
 		os.Exit(1)
 	}
+	wsp := o.Start("write")
 	if err := objfile.WriteFile(*out, merged); err != nil {
 		fmt.Fprintf(os.Stderr, "clald: %v\n", err)
 		os.Exit(1)
 	}
+	wsp.End()
 	if *verbose {
 		counts := merged.CountByKind()
 		total := 0
@@ -40,5 +52,15 @@ func main() {
 		}
 		fmt.Printf("clald: %d units -> %d symbols, %d assignments\n",
 			flag.NArg(), len(merged.Syms), total)
+	}
+	if obsFlags.Stats {
+		var rep obs.Report
+		rep.Sections = append(rep.Sections, o.PhaseSection())
+		rep.Sections = append(rep.Sections, driver.CounterSection(o))
+		rep.Format(os.Stdout)
+	}
+	if err := obsFlags.Finish(); err != nil {
+		fmt.Fprintf(os.Stderr, "clald: %v\n", err)
+		os.Exit(1)
 	}
 }

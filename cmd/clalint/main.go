@@ -34,7 +34,10 @@ import (
 	"cla/internal/driver"
 	"cla/internal/frontend"
 	"cla/internal/objfile"
+	"cla/internal/obs"
+	"cla/internal/parallel"
 	"cla/internal/prim"
+	"cla/internal/pts"
 )
 
 func main() {
@@ -52,6 +55,7 @@ func run() int {
 		includes   = flag.String("I", "", "comma-separated #include search directories")
 		defines    = flag.String("D", "", "comma-separated predefined macros (NAME or NAME=VALUE)")
 	)
+	obsFlags := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "clalint: no inputs (C files, a directory, or a database)")
@@ -70,8 +74,14 @@ func run() int {
 			return 2
 		}
 	}
+	o := obsFlags.Observer()
+	parallel.SetObserver(o)
+	if err := obsFlags.Start(); err != nil {
+		fmt.Fprintf(os.Stderr, "clalint: %v\n", err)
+		return 2
+	}
 
-	prog, err := loadProgram(flag.Args(), *includes, *defines, *jobs)
+	prog, err := loadProgram(flag.Args(), *includes, *defines, *jobs, o)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "clalint: %v\n", err)
 		return 2
@@ -79,13 +89,13 @@ func run() int {
 
 	cfg := core.DefaultConfig()
 	cfg.Jobs = *jobs
-	res, err := driver.AnalyzeProgram(prog, solver, cfg)
+	res, err := driver.AnalyzeObs(pts.NewMemSource(prog), solver, cfg, o)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "clalint: %v\n", err)
 		return 2
 	}
 
-	rep, err := checks.Run(prog, res, checks.Options{Checks: selected, Jobs: *jobs})
+	rep, err := checks.Run(prog, res, checks.Options{Checks: selected, Jobs: *jobs, Obs: o})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "clalint: %v\n", err)
 		return 2
@@ -129,6 +139,18 @@ func run() int {
 		}
 	}
 
+	if obsFlags.Stats {
+		var srep obs.Report
+		srep.Sections = append(srep.Sections, o.PhaseSection())
+		srep.Sections = append(srep.Sections, driver.AnalysisSection(solver, res.Metrics()))
+		srep.Sections = append(srep.Sections, driver.CounterSection(o))
+		srep.Format(os.Stdout)
+	}
+	if err := obsFlags.Finish(); err != nil {
+		fmt.Fprintf(os.Stderr, "clalint: %v\n", err)
+		return 2
+	}
+
 	if len(rep.Diags) > 0 {
 		return 1
 	}
@@ -139,7 +161,7 @@ func run() int {
 // a single directory compiles every .c file in it, a list of .c files
 // compiles and links them, and any other single file is opened as a
 // serialized database.
-func loadProgram(args []string, includes, defines string, jobs int) (*prim.Program, error) {
+func loadProgram(args []string, includes, defines string, jobs int, o *obs.Observer) (*prim.Program, error) {
 	opts := frontend.Options{}
 	if defines != "" {
 		opts.Defines = map[string]string{}
@@ -161,9 +183,11 @@ func loadProgram(args []string, includes, defines string, jobs int) (*prim.Progr
 			return nil, err
 		}
 		if info.IsDir() {
-			return driver.CompileDirJobs(args[0], opts, jobs)
+			return driver.CompileDirObs(args[0], opts, jobs, o)
 		}
 		if filepath.Ext(args[0]) != ".c" {
+			sp := o.Start("read")
+			defer sp.End()
 			r, err := objfile.Open(args[0])
 			if err != nil {
 				return nil, err
@@ -177,5 +201,5 @@ func loadProgram(args []string, includes, defines string, jobs int) (*prim.Progr
 			return nil, fmt.Errorf("%s: expected .c files (or a single directory or database)", a)
 		}
 	}
-	return driver.CompileUnitsJobs(args, cpp.OSLoader{Dirs: dirs}, opts, jobs)
+	return driver.CompileUnitsObs(args, cpp.OSLoader{Dirs: dirs}, opts, jobs, o)
 }

@@ -21,10 +21,6 @@ import (
 	"cla/internal/objfile"
 	"cla/internal/prim"
 	"cla/internal/pts"
-	"cla/internal/pts/bitvec"
-	"cla/internal/pts/onelevel"
-	"cla/internal/pts/steens"
-	"cla/internal/pts/worklist"
 	"cla/internal/xform"
 )
 
@@ -301,36 +297,28 @@ type RowSolver struct {
 	Relations int
 }
 
-// RunSolvers measures the three solvers on a workload.
+// Solvers is the fixed comparison order of the Section 6 table.
+var Solvers = []driver.Solver{
+	driver.PreTransitive, driver.Worklist, driver.BitVector,
+	driver.OneLevel, driver.Steensgaard,
+}
+
+// RunSolvers measures every solver on a workload through the shared
+// driver entry point — all five publish the same pts.Metrics, so no
+// per-solver cases remain here.
 func RunSolvers(w *Workload) ([]RowSolver, error) {
-	src := func() pts.Source { return pts.NewMemSource(w.FieldBased) }
 	var out []RowSolver
-	run := func(name string, f func() (pts.Result, error)) error {
+	for _, solver := range Solvers {
+		src := pts.NewMemSource(w.FieldBased)
 		start := time.Now()
-		res, err := f()
+		res, err := driver.Analyze(src, solver, core.DefaultConfig())
 		if err != nil {
-			return err
+			return nil, err
 		}
 		out = append(out, RowSolver{
-			Name: w.Profile.Name, Solver: name,
+			Name: w.Profile.Name, Solver: solver.String(),
 			Time: time.Since(start), Relations: res.Metrics().Relations,
 		})
-		return nil
-	}
-	if err := run("pre-transitive", func() (pts.Result, error) { return core.Solve(src(), core.DefaultConfig()) }); err != nil {
-		return nil, err
-	}
-	if err := run("worklist", func() (pts.Result, error) { return worklist.Solve(src()) }); err != nil {
-		return nil, err
-	}
-	if err := run("bitvec", func() (pts.Result, error) { return bitvec.Solve(src()) }); err != nil {
-		return nil, err
-	}
-	if err := run("one-level", func() (pts.Result, error) { return onelevel.Solve(src()) }); err != nil {
-		return nil, err
-	}
-	if err := run("steensgaard", func() (pts.Result, error) { return steens.Solve(src()) }); err != nil {
-		return nil, err
 	}
 	return out, nil
 }

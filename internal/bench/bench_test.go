@@ -187,14 +187,16 @@ func TestRunParallelIdentical(t *testing.T) {
 		t.Errorf("format:\n%s", buf.String())
 	}
 	path := filepath.Join(t.TempDir(), "BENCH_parallel.json")
-	if err := WriteParallelJSON(path, []RowParallel{row}); err != nil {
+	if err := WriteParallelJSON(path, []RowParallel{row}, NewMeta("parallel-pipeline", 4, 1.0, 1)); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(string(data), "\"speedup\"") {
-		t.Errorf("json missing speedup:\n%s", data)
+	for _, want := range []string{"\"speedup\"", "\"meta\"", "\"schema\"", "\"go_version\""} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("json missing %s:\n%s", want, data)
+		}
 	}
 }

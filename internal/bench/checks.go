@@ -1,10 +1,8 @@
 package bench
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
-	"os"
 	"text/tabwriter"
 	"time"
 
@@ -101,15 +99,9 @@ func FormatChecks(wr io.Writer, rows []RowChecks) {
 	tw.Flush()
 }
 
-// WriteChecksJSON records the rows in a BENCH_*.json file so runs are
-// comparable across hosts and revisions.
-func WriteChecksJSON(path string, rows []RowChecks) error {
-	out, err := json.MarshalIndent(struct {
-		Table string      `json:"table"`
-		Rows  []RowChecks `json:"rows"`
-	}{Table: "analysis-clients", Rows: rows}, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(out, '\n'), 0o644)
+// WriteChecksJSON records the rows under the shared Meta header so runs
+// are comparable across hosts and revisions.
+func WriteChecksJSON(path string, rows []RowChecks, meta Meta) error {
+	meta.Table = "analysis-clients"
+	return writeBenchJSON(path, meta, rows)
 }

@@ -1,0 +1,59 @@
+// BENCH_*.json metadata: every benchmark artifact carries the same
+// header describing the producing run, so results can be compared
+// across hosts and revisions (and stale files detected by schema).
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+)
+
+// MetaSchema is bumped whenever the JSON layout of a benchmark artifact
+// changes incompatibly.
+const MetaSchema = 1
+
+// Meta is the shared header written at the top of every BENCH_*.json
+// file.
+type Meta struct {
+	Schema int    `json:"schema"`
+	Table  string `json:"table"`
+	// Run parameters.
+	Jobs  int     `json:"jobs,omitempty"`
+	Scale float64 `json:"scale,omitempty"`
+	Seed  int64   `json:"seed,omitempty"`
+	// Host description.
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+}
+
+// NewMeta fills the header for one table run, capturing the Go and host
+// identification in the one place that writes it.
+func NewMeta(table string, jobs int, scale float64, seed int64) Meta {
+	return Meta{
+		Schema:    MetaSchema,
+		Table:     table,
+		Jobs:      jobs,
+		Scale:     scale,
+		Seed:      seed,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+}
+
+// writeBenchJSON writes {meta, rows} as indented JSON — the single
+// serialization point for every BENCH_*.json artifact.
+func writeBenchJSON(path string, meta Meta, rows any) error {
+	out, err := json.MarshalIndent(struct {
+		Meta Meta `json:"meta"`
+		Rows any  `json:"rows"`
+	}{Meta: meta, Rows: rows}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}

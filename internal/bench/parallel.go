@@ -2,10 +2,8 @@ package bench
 
 import (
 	"bytes"
-	"encoding/json"
 	"fmt"
 	"io"
-	"os"
 	"text/tabwriter"
 	"time"
 
@@ -151,15 +149,9 @@ func FormatParallel(wr io.Writer, rows []RowParallel) {
 	tw.Flush()
 }
 
-// WriteParallelJSON records the rows in a BENCH_*.json file so runs are
-// comparable across hosts and revisions.
-func WriteParallelJSON(path string, rows []RowParallel) error {
-	out, err := json.MarshalIndent(struct {
-		Table string        `json:"table"`
-		Rows  []RowParallel `json:"rows"`
-	}{Table: "parallel-pipeline", Rows: rows}, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(out, '\n'), 0o644)
+// WriteParallelJSON records the rows under the shared Meta header so
+// runs are comparable across hosts and revisions.
+func WriteParallelJSON(path string, rows []RowParallel, meta Meta) error {
+	meta.Table = "parallel-pipeline"
+	return writeBenchJSON(path, meta, rows)
 }

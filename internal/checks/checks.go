@@ -30,6 +30,7 @@ import (
 	"io"
 	"sort"
 
+	"cla/internal/obs"
 	"cla/internal/parallel"
 	"cla/internal/prim"
 	"cla/internal/pts"
@@ -71,6 +72,9 @@ type Options struct {
 	// Jobs bounds the workers used inside each check (0 = all cores,
 	// 1 = sequential). Output is identical at every setting.
 	Jobs int
+	// Obs, when non-nil, records one span per check plus checks.*
+	// diagnostic counters.
+	Obs *obs.Observer
 }
 
 // Diagnostic is one finding, attached to a source location.
@@ -123,6 +127,8 @@ func Run(prog *prim.Program, res pts.Result, opts Options) (*Report, error) {
 	if enabled == nil {
 		enabled = AllChecks()
 	}
+	sp := opts.Obs.Start("checks")
+	defer sp.End()
 	ix := buildIndex(prog, res)
 	rep := &Report{}
 
@@ -138,7 +144,9 @@ func Run(prog *prim.Program, res pts.Result, opts Options) (*Report, error) {
 	// The call graph is also an input to MOD/REF propagation, so build it
 	// whenever either check is enabled.
 	if has(CallGraph) || has(ModRef) {
+		csp := sp.Child("check:callgraph")
 		g, diags, err := buildCallGraph(ix, opts.Jobs)
+		csp.End()
 		if err != nil {
 			return nil, err
 		}
@@ -147,7 +155,9 @@ func Run(prog *prim.Program, res pts.Result, opts Options) (*Report, error) {
 			rep.Diags = append(rep.Diags, diags...)
 		}
 		if has(ModRef) {
+			msp := sp.Child("check:modref")
 			sums, err := modrefSummaries(ix, g, opts.Jobs)
+			msp.End()
 			if err != nil {
 				return nil, err
 			}
@@ -155,20 +165,30 @@ func Run(prog *prim.Program, res pts.Result, opts Options) (*Report, error) {
 		}
 	}
 	if has(Escape) {
+		esp := sp.Child("check:escape")
 		diags, err := escapeCheck(ix, opts.Jobs)
+		esp.End()
 		if err != nil {
 			return nil, err
 		}
 		rep.Diags = append(rep.Diags, diags...)
 	}
 	if has(Deref) {
+		dsp := sp.Child("check:deref")
 		diags, err := derefCheck(ix, opts.Jobs)
+		dsp.End()
 		if err != nil {
 			return nil, err
 		}
 		rep.Diags = append(rep.Diags, diags...)
 	}
 	sortDiags(rep.Diags)
+	if opts.Obs.Enabled() {
+		opts.Obs.SetCounter("checks.diags", int64(len(rep.Diags)))
+		for c, n := range rep.CountByCheck() {
+			opts.Obs.SetCounter("checks.diags."+string(c), int64(n))
+		}
+	}
 	return rep, nil
 }
 

@@ -238,10 +238,7 @@ func Solve(src pts.Source, cfg Config) (*Result, error) {
 	s.snap = s.buildSnapshot()
 	s.releaseScratch()
 	s.m.InCore = len(s.complex)
-	counts := src.Counts()
-	for _, c := range counts {
-		s.m.InFile += c
-	}
+	s.m.InFile = pts.TotalAssigns(src)
 	res := &Result{s: s}
 	res.fillMetrics()
 	return res, nil

@@ -589,7 +589,7 @@ void m(void) { p = &v; q = p; dead1 = dead2; }`
 		t.Errorf("pts(q) = %v", set)
 	}
 	// The dead chain's blocks stay unread.
-	if rd.EntriesLoaded >= int64(res.Metrics().InFile) {
-		t.Errorf("loaded %d of %d entries", rd.EntriesLoaded, res.Metrics().InFile)
+	if loaded := rd.LoadStats().EntriesLoaded; loaded >= int64(res.Metrics().InFile) {
+		t.Errorf("loaded %d of %d entries", loaded, res.Metrics().InFile)
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"cla/internal/cpp"
 	"cla/internal/frontend"
 	"cla/internal/linker"
+	"cla/internal/obs"
 	"cla/internal/parallel"
 	"cla/internal/prim"
 	"cla/internal/pts"
@@ -88,8 +89,20 @@ func CompileUnits(units []string, loader cpp.Loader, opts frontend.Options) (*pr
 // wrapped with the unit path, and with several failures the lowest-
 // numbered unit's error is reported, matching sequential behaviour.
 func CompileUnitsJobs(units []string, loader cpp.Loader, opts frontend.Options, jobs int) (*prim.Program, error) {
+	return CompileUnitsObs(units, loader, opts, jobs, nil)
+}
+
+// CompileUnitsObs is CompileUnitsJobs under an observer: the fan-out runs
+// inside a "compile" span with one span per translation unit on a track
+// keyed by the unit's index (not the worker's), then the link phase is
+// traced by LinkParallelObs. The nil observer costs nothing.
+func CompileUnitsObs(units []string, loader cpp.Loader, opts frontend.Options, jobs int, o *obs.Observer) (*prim.Program, error) {
+	sp := o.Start("compile")
+	o.SetCounter("compile.units", int64(len(units)))
 	progs := make([]*prim.Program, len(units))
 	err := parallel.ForEach(jobs, len(units), func(i int) error {
+		usp := o.StartTrack(i+1, "unit "+filepath.Base(units[i]))
+		defer usp.End()
 		p, err := frontend.CompileFile(units[i], loader, opts)
 		if err != nil {
 			return fmt.Errorf("driver: compile %s: %w", units[i], err)
@@ -97,10 +110,11 @@ func CompileUnitsJobs(units []string, loader cpp.Loader, opts frontend.Options, 
 		progs[i] = p
 		return nil
 	})
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
-	return linker.LinkParallel(progs, jobs)
+	return linker.LinkParallelObs(progs, jobs, o)
 }
 
 // CompileDir compiles every .c file under dir (sorted) with dir on the
@@ -112,6 +126,11 @@ func CompileDir(dir string, opts frontend.Options) (*prim.Program, error) {
 // CompileDirJobs is CompileDir with an explicit worker bound (jobs <= 0
 // means GOMAXPROCS).
 func CompileDirJobs(dir string, opts frontend.Options, jobs int) (*prim.Program, error) {
+	return CompileDirObs(dir, opts, jobs, nil)
+}
+
+// CompileDirObs is CompileDirJobs under an observer.
+func CompileDirObs(dir string, opts frontend.Options, jobs int, o *obs.Observer) (*prim.Program, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -127,7 +146,7 @@ func CompileDirJobs(dir string, opts frontend.Options, jobs int) (*prim.Program,
 		return nil, fmt.Errorf("driver: no .c files in %s", dir)
 	}
 	loader := cpp.OSLoader{Dirs: []string{dir}}
-	return CompileUnitsJobs(units, loader, opts, jobs)
+	return CompileUnitsObs(units, loader, opts, jobs, o)
 }
 
 // Analyze runs the selected solver over src. cfg applies to the
@@ -152,4 +171,20 @@ func Analyze(src pts.Source, solver Solver, cfg core.Config) (pts.Result, error)
 // AnalyzeProgram is a convenience over an in-memory program.
 func AnalyzeProgram(p *prim.Program, solver Solver, cfg core.Config) (pts.Result, error) {
 	return Analyze(pts.NewMemSource(p), solver, cfg)
+}
+
+// AnalyzeObs is Analyze under an observer: the solve runs inside an
+// "analyze" span and the converged metrics are published into the
+// observer's solver.* counters — the publish-at-end idiom, so the
+// solver's hot loop never touches the observer. The nil observer costs
+// nothing.
+func AnalyzeObs(src pts.Source, solver Solver, cfg core.Config, o *obs.Observer) (pts.Result, error) {
+	sp := o.Start("analyze")
+	res, err := Analyze(src, solver, cfg)
+	sp.End()
+	if err != nil {
+		return nil, err
+	}
+	res.Metrics().Publish(o)
+	return res, nil
 }

@@ -1,0 +1,89 @@
+package driver
+
+import (
+	"fmt"
+
+	"cla/internal/objfile"
+	"cla/internal/obs"
+	"cla/internal/prim"
+	"cla/internal/pts"
+)
+
+// Report sections shared by the CLI -stats flags. They mirror the
+// paper's evaluation tables: DBSection is a Table 2 row (database
+// characteristics), AnalysisSection a Table 3 row (analysis results),
+// and LoadSection the demand-load accounting behind Table 3's
+// in core / loaded / in file split.
+
+// DBSection summarizes the analyzed database, Table 2 style.
+func DBSection(src pts.Source) obs.Section {
+	vars := 0
+	for i := 0; i < src.NumSyms(); i++ {
+		if pts.CountedAsPointerVar(src.Sym(prim.SymID(i)).Kind) {
+			vars++
+		}
+	}
+	counts := src.Counts()
+	return obs.Section{Title: "database", Rows: []obs.KV{
+		{Key: "symbols", Value: fmt.Sprintf("%d", src.NumSyms())},
+		{Key: "variables", Value: fmt.Sprintf("%d", vars)},
+		{Key: "assigns x=y", Value: fmt.Sprintf("%d", counts[prim.Simple])},
+		{Key: "assigns x=&y", Value: fmt.Sprintf("%d", counts[prim.Base])},
+		{Key: "assigns *x=y", Value: fmt.Sprintf("%d", counts[prim.StoreInd])},
+		{Key: "assigns *x=*y", Value: fmt.Sprintf("%d", counts[prim.CopyInd])},
+		{Key: "assigns x=*y", Value: fmt.Sprintf("%d", counts[prim.LoadInd])},
+	}}
+}
+
+// AnalysisSection summarizes a converged result, Table 3 style.
+func AnalysisSection(solver Solver, m pts.Metrics) obs.Section {
+	return obs.Section{Title: "analysis (" + solver.String() + ")", Rows: []obs.KV{
+		{Key: "pointer vars:", Value: fmt.Sprintf("%d", m.PointerVars)},
+		{Key: "relations:", Value: fmt.Sprintf("%d", m.Relations)},
+		{Key: "in core:", Value: fmt.Sprintf("%d", m.InCore)},
+		{Key: "loaded:", Value: fmt.Sprintf("%d", m.Loaded)},
+		{Key: "in file:", Value: fmt.Sprintf("%d", m.InFile)},
+		{Key: "passes:", Value: fmt.Sprintf("%d", m.Passes)},
+		{Key: "unifications:", Value: fmt.Sprintf("%d", m.Unifications)},
+		{Key: "cache hits:", Value: fmt.Sprintf("%d", m.CacheHits)},
+		{Key: "cache misses:", Value: fmt.Sprintf("%d", m.CacheMisses)},
+		{Key: "edges added:", Value: fmt.Sprintf("%d", m.EdgesAdded)},
+	}}
+}
+
+// LoadSection renders a reader's demand-load accounting — how little of
+// the database the analyze phase actually touched.
+func LoadSection(ls objfile.LoadStats) obs.Section {
+	return obs.Section{Title: "demand loading", Rows: []obs.KV{
+		{Key: "blocks loaded", Value: fmt.Sprintf("%d / %d", ls.BlocksLoaded, ls.TotalBlocks)},
+		{Key: "block reads", Value: fmt.Sprintf("%d", ls.BlockLoads)},
+		{Key: "entries loaded", Value: fmt.Sprintf("%d / %d", ls.EntriesLoaded, ls.TotalEntries)},
+		{Key: "bytes loaded", Value: fmt.Sprintf("%s / %s", obs.FmtBytes(ls.BytesLoaded), obs.FmtBytes(ls.TotalBytes))},
+		{Key: "static reads", Value: fmt.Sprintf("%d", ls.StaticLoads)},
+		{Key: "static entries", Value: fmt.Sprintf("%d", ls.StaticEntries)},
+	}}
+}
+
+// CounterSection renders the observer's counters and gauges, excluding
+// the jobs-dependent pool.* entries so the section is identical at every
+// -j setting (the pool numbers still reach -trace and -jsonl).
+func CounterSection(o *obs.Observer) obs.Section {
+	sec := obs.Section{Title: "counters"}
+	for _, m := range o.Counters() {
+		if isPoolMetric(m.Name) {
+			continue
+		}
+		sec.Rows = append(sec.Rows, obs.KV{Key: m.Name, Value: fmt.Sprintf("%d", m.Value)})
+	}
+	for _, m := range o.Gauges() {
+		if isPoolMetric(m.Name) {
+			continue
+		}
+		sec.Rows = append(sec.Rows, obs.KV{Key: m.Name, Value: fmt.Sprintf("%d", m.Value)})
+	}
+	return sec
+}
+
+func isPoolMetric(name string) bool {
+	return len(name) >= 5 && name[:5] == "pool."
+}

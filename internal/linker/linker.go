@@ -7,8 +7,10 @@ package linker
 
 import (
 	"fmt"
+	"path/filepath"
 
 	"cla/internal/objfile"
+	"cla/internal/obs"
 	"cla/internal/parallel"
 	"cla/internal/prim"
 )
@@ -120,6 +122,49 @@ func LinkParallel(units []*prim.Program, jobs int) (*prim.Program, error) {
 	})
 }
 
+// LinkParallelObs is LinkParallel under an observer: the whole merge runs
+// inside a "link" span, and each pairwise merge of the tree gets its own
+// span on a track keyed by the merge's position in its round — NOT by
+// which worker ran it — so the recorded span structure is identical at
+// every jobs setting. A nil observer delegates to LinkParallel.
+func LinkParallelObs(units []*prim.Program, jobs int, o *obs.Observer) (*prim.Program, error) {
+	if o == nil {
+		return LinkParallel(units, jobs)
+	}
+	sp := o.Start("link")
+	defer sp.End()
+	o.SetCounter("link.units", int64(len(units)))
+	if len(units) <= 2 {
+		return Link(units)
+	}
+	merges := o.Counter("link.merges")
+	cur := append([]*prim.Program(nil), units...)
+	for round := 0; len(cur) > 1; round++ {
+		next := make([]*prim.Program, (len(cur)+1)/2)
+		r := round
+		err := parallel.ForEach(jobs, len(next), func(i int) error {
+			if 2*i+1 >= len(cur) {
+				next[i] = cur[2*i]
+				return nil
+			}
+			msp := o.StartTrack(i+1, fmt.Sprintf("merge r%d.%d", r, i))
+			defer msp.End()
+			p, err := Link([]*prim.Program{cur[2*i], cur[2*i+1]})
+			if err != nil {
+				return err
+			}
+			merges.Inc()
+			next[i] = p
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		cur = next
+	}
+	return cur[0], nil
+}
+
 // compatibleKinds reports whether two linked symbol kinds may unify.
 // Real C code base headers sometimes declare an object in one unit and
 // define a function elsewhere under the same name guard; we allow func/
@@ -133,18 +178,35 @@ func compatibleKinds(a, b prim.SymKind) bool {
 
 // LinkFiles opens, decodes and links the named object files.
 func LinkFiles(paths []string) (*prim.Program, error) {
+	return LinkFilesObs(paths, nil)
+}
+
+// LinkFilesObs is LinkFiles under an observer: the decodes run as child
+// spans of a "read" phase, the merge inside a "link" phase. The nil
+// observer costs nothing.
+func LinkFilesObs(paths []string, o *obs.Observer) (*prim.Program, error) {
+	sp := o.Start("read")
 	var units []*prim.Program
 	for _, path := range paths {
+		fsp := sp.Child("read " + filepath.Base(path))
 		r, err := objfile.Open(path)
 		if err != nil {
+			fsp.End()
+			sp.End()
 			return nil, fmt.Errorf("linker: %w", err)
 		}
 		p, err := r.Program()
 		r.Close()
+		fsp.End()
 		if err != nil {
+			sp.End()
 			return nil, fmt.Errorf("linker: %s: %w", path, err)
 		}
 		units = append(units, p)
 	}
+	sp.End()
+	lsp := o.Start("link")
+	defer lsp.End()
+	o.SetCounter("link.units", int64(len(units)))
 	return Link(units)
 }

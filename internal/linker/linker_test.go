@@ -10,6 +10,7 @@ import (
 
 	"cla/internal/frontend"
 	"cla/internal/objfile"
+	"cla/internal/obs"
 	"cla/internal/prim"
 )
 
@@ -343,5 +344,52 @@ func TestLinkParallelMatchesSequential(t *testing.T) {
 				t.Errorf("n=%d jobs=%d: parallel link differs from sequential fold", n, jobs)
 			}
 		}
+	}
+}
+
+func TestLinkParallelObsMatchesAndIsDeterministic(t *testing.T) {
+	// The instrumented tree merge must produce the same program as the
+	// uninstrumented path, and the recorded span/counter structure must
+	// be identical at every worker count (only timings may differ).
+	units := manyUnits(t, 7)
+	seq, err := Link(units)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := dumpProgram(t, seq)
+
+	shape := func(o *obs.Observer) string {
+		var b bytes.Buffer
+		for _, e := range o.Events() {
+			fmt.Fprintf(&b, "%d %s\n", e.Track, e.Name)
+		}
+		for _, m := range o.Counters() {
+			fmt.Fprintf(&b, "%s=%d\n", m.Name, m.Value)
+		}
+		return b.String()
+	}
+
+	var base string
+	for _, jobs := range []int{1, 2, 8} {
+		o := obs.New()
+		p, err := LinkParallelObs(units, jobs, o)
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		if !bytes.Equal(want, dumpProgram(t, p)) {
+			t.Errorf("jobs=%d: instrumented link differs from sequential fold", jobs)
+		}
+		if n := o.OpenSpans(); n != 0 {
+			t.Fatalf("jobs=%d: %d spans left open", jobs, n)
+		}
+		s := shape(o)
+		if base == "" {
+			base = s
+		} else if s != base {
+			t.Errorf("jobs=%d span shape differs:\n%s\nvs\n%s", jobs, s, base)
+		}
+	}
+	if !strings.Contains(base, "merge r0.0") || !strings.Contains(base, "link.merges=6") {
+		t.Errorf("unexpected shape:\n%s", base)
 	}
 }

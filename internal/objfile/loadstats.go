@@ -1,0 +1,56 @@
+package objfile
+
+import "cla/internal/obs"
+
+// LoadStats is the demand-load accounting of one reader — the paper's
+// Table 3 numbers. Totals describe what the database holds; the Loaded
+// figures count what the analyze phase actually touched. Because blocks
+// are decoded fresh on every request (load-and-throw-away), BlockLoads
+// can exceed BlocksLoaded: the difference is re-reads of discarded
+// blocks.
+type LoadStats struct {
+	TotalBlocks  int // symbols with a non-empty block
+	BlocksLoaded int // distinct blocks decoded at least once
+
+	BlockLoads    int64 // Block calls that decoded entries (incl. re-reads)
+	TotalEntries  int64 // block entries in the database
+	EntriesLoaded int64 // block entries decoded (incl. re-reads)
+	TotalBytes    int64 // size of the blocks section
+	BytesLoaded   int64 // block bytes decoded (incl. re-reads)
+
+	StaticLoads   int64 // Statics decodes
+	StaticEntries int64 // static entries decoded
+}
+
+// LoadStats returns a snapshot of the reader's demand-load accounting.
+func (r *Reader) LoadStats() LoadStats { return r.load }
+
+// Publish copies the accounting into o's load.* counters, where the
+// -stats report and the trace sinks pick it up. A nil observer no-ops.
+func (s LoadStats) Publish(o *obs.Observer) {
+	if o == nil {
+		return
+	}
+	o.SetCounter("load.blocks.total", int64(s.TotalBlocks))
+	o.SetCounter("load.blocks.loaded", int64(s.BlocksLoaded))
+	o.SetCounter("load.blocks.reads", s.BlockLoads)
+	o.SetCounter("load.entries.total", s.TotalEntries)
+	o.SetCounter("load.entries.loaded", s.EntriesLoaded)
+	o.SetCounter("load.bytes.total", s.TotalBytes)
+	o.SetCounter("load.bytes.loaded", s.BytesLoaded)
+	o.SetCounter("load.static.reads", s.StaticLoads)
+	o.SetCounter("load.static.entries", s.StaticEntries)
+}
+
+// Merge accumulates another reader's accounting, for multi-database runs.
+func (s *LoadStats) Merge(t LoadStats) {
+	s.TotalBlocks += t.TotalBlocks
+	s.BlocksLoaded += t.BlocksLoaded
+	s.BlockLoads += t.BlockLoads
+	s.TotalEntries += t.TotalEntries
+	s.EntriesLoaded += t.EntriesLoaded
+	s.TotalBytes += t.TotalBytes
+	s.BytesLoaded += t.BytesLoaded
+	s.StaticLoads += t.StaticLoads
+	s.StaticEntries += t.StaticEntries
+}

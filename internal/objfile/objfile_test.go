@@ -189,8 +189,21 @@ func TestEntriesLoadedAccounting(t *testing.T) {
 	y := p.SymIDByName("y")
 	r.Block(y)
 	r.Block(y) // discard and re-load
-	if r.EntriesLoaded != 4 {
-		t.Errorf("EntriesLoaded = %d, want 4", r.EntriesLoaded)
+	ls := r.LoadStats()
+	if ls.EntriesLoaded != 4 {
+		t.Errorf("EntriesLoaded = %d, want 4", ls.EntriesLoaded)
+	}
+	if ls.BlocksLoaded != 1 {
+		t.Errorf("BlocksLoaded = %d, want 1 distinct block", ls.BlocksLoaded)
+	}
+	if ls.BlockLoads != 2 {
+		t.Errorf("BlockLoads = %d, want 2", ls.BlockLoads)
+	}
+	if ls.BytesLoaded <= 0 || ls.BytesLoaded > ls.TotalBytes*2 {
+		t.Errorf("BytesLoaded = %d (total %d)", ls.BytesLoaded, ls.TotalBytes)
+	}
+	if ls.TotalBlocks < ls.BlocksLoaded || ls.TotalEntries < 2 {
+		t.Errorf("totals = %+v", ls)
 	}
 }
 

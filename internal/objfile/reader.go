@@ -31,9 +31,10 @@ type Reader struct {
 	targetNames []string
 	targetSyms  []prim.SymID
 
-	// BytesLoaded counts block bytes decoded, for the paper's
-	// loaded-assignments accounting.
-	EntriesLoaded int64
+	// load accumulates the demand-load accounting; loadedBlk marks the
+	// distinct blocks that have been decoded at least once.
+	load      LoadStats
+	loadedBlk []bool
 }
 
 // Open opens the named object file.
@@ -217,6 +218,7 @@ func (r *Reader) loadBlockIndex() error {
 	}
 	r.blockOff = make([]int64, n)
 	r.blockCnt = make([]int32, n)
+	r.loadedBlk = make([]bool, n)
 	for i := 0; i < n; i++ {
 		rec := b[4+i*idxRecSize:]
 		r.blockOff[i] = int64(le.Uint64(rec))
@@ -225,7 +227,12 @@ func (r *Reader) loadBlockIndex() error {
 		if r.blockOff[i] < 0 || r.blockCnt[i] < 0 || end > r.secLen[secBlocks] {
 			return corrupt("block for symbol %d out of bounds", i)
 		}
+		if r.blockCnt[i] > 0 {
+			r.load.TotalBlocks++
+			r.load.TotalEntries += int64(r.blockCnt[i])
+		}
 	}
+	r.load.TotalBytes = r.secLen[secBlocks]
 	return nil
 }
 
@@ -405,6 +412,8 @@ func (r *Reader) Statics() ([]prim.Assign, error) {
 		}
 		out = append(out, a)
 	}
+	r.load.StaticLoads++
+	r.load.StaticEntries += int64(n)
 	return out, nil
 }
 
@@ -459,7 +468,13 @@ func (r *Reader) Block(sym prim.SymID) ([]BlockEntry, error) {
 			Func:     fn,
 		}
 	}
-	r.EntriesLoaded += int64(n)
+	if !r.loadedBlk[sym] {
+		r.loadedBlk[sym] = true
+		r.load.BlocksLoaded++
+	}
+	r.load.BlockLoads++
+	r.load.EntriesLoaded += int64(n)
+	r.load.BytesLoaded += int64(len(b))
 	return out, nil
 }
 

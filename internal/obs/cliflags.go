@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Flags bundles the observability options shared by every CLA command:
+// the paper-style stats report, the trace/JSONL event sinks, and CPU/heap
+// profiles.
+type Flags struct {
+	Stats      bool
+	Trace      string
+	JSONL      string
+	CPUProfile string
+	MemProfile string
+
+	o       *Observer
+	cpuFile *os.File
+}
+
+// AddFlags registers -stats, -trace, -jsonl, -cpuprofile and -memprofile
+// on fs and returns the holder to query after parsing.
+func AddFlags(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.BoolVar(&f.Stats, "stats", false,
+		"print a per-phase stats report (paper Tables 2-3 style)")
+	fs.StringVar(&f.Trace, "trace", "",
+		"write a Chrome trace_event file (chrome://tracing, Perfetto) to this path")
+	fs.StringVar(&f.JSONL, "jsonl", "",
+		"write instrumentation events as JSON lines to this path")
+	fs.StringVar(&f.CPUProfile, "cpuprofile", "",
+		"write a pprof CPU profile to this path")
+	fs.StringVar(&f.MemProfile, "memprofile", "",
+		"write a pprof heap profile to this path")
+	return f
+}
+
+// Any reports whether any observability output was requested.
+func (f *Flags) Any() bool {
+	return f.Stats || f.Trace != "" || f.JSONL != "" ||
+		f.CPUProfile != "" || f.MemProfile != ""
+}
+
+// Observer returns the run's observer: non-nil when any of -stats,
+// -trace or -jsonl was requested, nil (the free no-op) otherwise.
+// Memory statistics are collected only for -stats, which reports them.
+func (f *Flags) Observer() *Observer {
+	if f.o == nil && (f.Stats || f.Trace != "" || f.JSONL != "") {
+		f.o = New()
+		f.o.EnableMemStats(f.Stats)
+	}
+	return f.o
+}
+
+// Start begins CPU profiling if requested. Call Finish to stop it.
+func (f *Flags) Start() error {
+	if f.CPUProfile == "" {
+		return nil
+	}
+	file, err := os.Create(f.CPUProfile)
+	if err != nil {
+		return err
+	}
+	if err := pprof.StartCPUProfile(file); err != nil {
+		file.Close()
+		return err
+	}
+	f.cpuFile = file
+	return nil
+}
+
+// Finish stops the CPU profile and writes the requested heap profile,
+// trace and JSONL outputs. It returns the first error; profile and sink
+// failures do not abort the remaining outputs.
+func (f *Flags) Finish() error {
+	var first error
+	keep := func(err error) {
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	if f.cpuFile != nil {
+		pprof.StopCPUProfile()
+		keep(f.cpuFile.Close())
+		f.cpuFile = nil
+	}
+	if f.MemProfile != "" {
+		keep(f.writeMemProfile())
+	}
+	if f.Trace != "" {
+		keep(writeFileWith(f.Trace, f.o.WriteTrace))
+	}
+	if f.JSONL != "" {
+		keep(writeFileWith(f.JSONL, f.o.WriteJSONL))
+	}
+	return first
+}
+
+func (f *Flags) writeMemProfile() error {
+	file, err := os.Create(f.MemProfile)
+	if err != nil {
+		return err
+	}
+	defer file.Close()
+	runtime.GC() // up-to-date heap statistics
+	if err := pprof.WriteHeapProfile(file); err != nil {
+		return fmt.Errorf("obs: heap profile: %w", err)
+	}
+	return nil
+}
+
+func writeFileWith(path string, write func(w io.Writer) error) error {
+	file, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(file); err != nil {
+		file.Close()
+		return err
+	}
+	return file.Close()
+}

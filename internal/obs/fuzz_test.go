@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// decodeFuzzEvents derives an event list from raw fuzz bytes: each event
+// consumes 10 bytes — track, two varint-ish times, a name selector and
+// an alloc flag. The decoding is intentionally unconstrained so the
+// corpus explores unsorted, overlapping and inverted spans.
+func decodeFuzzEvents(data []byte) []Event {
+	names := []string{"compile", "link", "analyze", "unit a.c", "merge r0.0", ""}
+	var evs []Event
+	for len(data) >= 10 && len(evs) < 64 {
+		track := int(data[0] % 8)
+		start := time.Duration(binary.LittleEndian.Uint32(data[1:5]) % 1e6)
+		end := time.Duration(binary.LittleEndian.Uint32(data[5:9]) % 1e6)
+		alloc := int64(-1)
+		if data[9]&1 == 1 {
+			alloc = int64(data[9])
+		}
+		evs = append(evs, Event{
+			Name:  names[int(data[9]>>1)%len(names)],
+			Track: track,
+			Start: start,
+			End:   end,
+			Alloc: alloc,
+		})
+		data = data[10:]
+	}
+	return evs
+}
+
+// FuzzTrace drives the trace encoder with arbitrary span structures. The
+// contract under test: writeTrace either returns an error and writes
+// nothing, or succeeds and emits valid JSON — malformed nesting must
+// never corrupt the output.
+func FuzzTrace(f *testing.F) {
+	f.Add([]byte{})
+	// A well-nested pair on track 0.
+	seed := make([]byte, 20)
+	binary.LittleEndian.PutUint32(seed[1:5], 0)
+	binary.LittleEndian.PutUint32(seed[5:9], 100)
+	binary.LittleEndian.PutUint32(seed[11:15], 10)
+	binary.LittleEndian.PutUint32(seed[15:19], 50)
+	f.Add(seed)
+	// An inverted span.
+	inv := make([]byte, 10)
+	binary.LittleEndian.PutUint32(inv[1:5], 500)
+	binary.LittleEndian.PutUint32(inv[5:9], 100)
+	f.Add(inv)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		evs := decodeFuzzEvents(data)
+		sortEvents(evs)
+		var buf bytes.Buffer
+		err := writeTrace(&buf, evs, []Metric{{Name: "c", Value: 1}}, nil)
+		if err != nil {
+			if buf.Len() != 0 {
+				t.Fatalf("writeTrace errored (%v) after writing %d bytes", err, buf.Len())
+			}
+			return
+		}
+		if !json.Valid(buf.Bytes()) {
+			t.Fatalf("writeTrace produced invalid JSON for %d events:\n%s", len(evs), buf.String())
+		}
+		var doc struct {
+			TraceEvents []traceEvent `json:"traceEvents"`
+		}
+		if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+			t.Fatalf("unmarshal: %v", err)
+		}
+		if want := len(evs) + 1; len(doc.TraceEvents) != want {
+			t.Fatalf("trace has %d events, want %d", len(doc.TraceEvents), want)
+		}
+	})
+}

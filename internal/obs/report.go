@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+	"time"
+)
+
+// KV is one labelled report row.
+type KV struct {
+	Key   string
+	Value string
+}
+
+// Section is one titled block of report rows.
+type Section struct {
+	Title string
+	Rows  []KV
+}
+
+// Report is the -stats output: a sequence of sections mirroring the
+// paper's evaluation tables (phase splits, database characteristics,
+// analysis results, demand-load accounting).
+type Report struct {
+	Sections []Section
+}
+
+// Add appends a section.
+func (r *Report) Add(title string, rows ...KV) {
+	r.Sections = append(r.Sections, Section{Title: title, Rows: rows})
+}
+
+// Format renders the report with aligned columns.
+func (r *Report) Format(w io.Writer) {
+	for i, s := range r.Sections {
+		if i > 0 {
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintf(w, "== %s ==\n", s.Title)
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		for _, row := range s.Rows {
+			fmt.Fprintf(tw, "%s\t%s\n", row.Key, row.Value)
+		}
+		tw.Flush()
+	}
+}
+
+// FmtDur renders a duration for reports as seconds with fixed precision,
+// so normalizers can match one token shape.
+func FmtDur(d time.Duration) string { return fmt.Sprintf("%.6fs", d.Seconds()) }
+
+// FmtBytes renders a byte count with a unit suffix.
+func FmtBytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", n)
+}
+
+// PhaseSection renders the observer's spans as a report section: track-0
+// phases as an indented tree in start order, and the parallel tracks
+// rolled up per span-name prefix (the text before the first space) with
+// slot counts and total/max wall time — so the section's shape, and
+// every non-time figure in it, is identical at any -j setting.
+func (o *Observer) PhaseSection() Section {
+	sec := Section{Title: "phases"}
+	if o == nil {
+		return sec
+	}
+	evs := o.Events()
+
+	// Track 0: sequential phases, indented by containment depth.
+	var stack []Event
+	for _, e := range evs {
+		if e.Track != 0 {
+			continue
+		}
+		for len(stack) > 0 && stack[len(stack)-1].End <= e.Start {
+			stack = stack[:len(stack)-1]
+		}
+		val := FmtDur(e.Dur())
+		if e.Alloc >= 0 {
+			val += fmt.Sprintf("  +%s", FmtBytes(e.Alloc))
+		}
+		sec.Rows = append(sec.Rows, KV{
+			Key:   strings.Repeat("  ", len(stack)) + e.Name,
+			Value: val,
+		})
+		stack = append(stack, e)
+	}
+
+	// Parallel tracks: aggregate by name prefix.
+	type agg struct {
+		name  string
+		count int
+		total time.Duration
+		max   time.Duration
+	}
+	var order []string
+	groups := map[string]*agg{}
+	for _, e := range evs {
+		if e.Track == 0 {
+			continue
+		}
+		name := e.Name
+		if i := strings.IndexByte(name, ' '); i > 0 {
+			name = name[:i]
+		}
+		g := groups[name]
+		if g == nil {
+			g = &agg{name: name}
+			groups[name] = g
+			order = append(order, name)
+		}
+		g.count++
+		g.total += e.Dur()
+		if d := e.Dur(); d > g.max {
+			g.max = d
+		}
+	}
+	for _, name := range order {
+		g := groups[name]
+		sec.Rows = append(sec.Rows, KV{
+			Key: fmt.Sprintf("  ~ %s x%d", g.name, g.count),
+			Value: fmt.Sprintf("total %s  max %s",
+				FmtDur(g.total), FmtDur(g.max)),
+		})
+	}
+	return sec
+}

@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// traceEvent is one Chrome trace_event record. Complete spans use
+// ph "X" (ts + dur); counters use ph "C" with a value argument.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Ts   float64        `json:"ts"`            // microseconds
+	Dur  float64        `json:"dur,omitempty"` // microseconds
+	Args map[string]any `json:"args,omitempty"`
+}
+
+func usec(d int64) float64 { return float64(d) / 1e3 } // ns → µs
+
+// validateEvents checks the span structure the sinks require: every span
+// must have End >= Start, and the spans of each track must be properly
+// nested — two spans on one track either don't intersect or one contains
+// the other. The input must already be in sortEvents order.
+func validateEvents(evs []Event) error {
+	var stack []Event
+	track := -1
+	for _, e := range evs {
+		if e.End < e.Start {
+			return fmt.Errorf("obs: span %q ends before it starts", e.Name)
+		}
+		if e.Track != track {
+			track = e.Track
+			stack = stack[:0]
+		}
+		for len(stack) > 0 && stack[len(stack)-1].End <= e.Start {
+			stack = stack[:len(stack)-1]
+		}
+		if len(stack) > 0 && e.End > stack[len(stack)-1].End {
+			return fmt.Errorf("obs: spans %q and %q overlap on track %d without nesting",
+				stack[len(stack)-1].Name, e.Name, e.Track)
+		}
+		stack = append(stack, e)
+	}
+	return nil
+}
+
+// checkComplete returns an error when spans are still open — an unclosed
+// span means the instrumentation points are unbalanced and any trace
+// would be misleading.
+func (o *Observer) checkComplete() error {
+	if n := o.OpenSpans(); n > 0 {
+		return fmt.Errorf("obs: %d span(s) still open", n)
+	}
+	return nil
+}
+
+// WriteTrace emits the run in Chrome trace_event format (a JSON object
+// with a traceEvents array), loadable by chrome://tracing and Perfetto.
+// Track 0 carries the sequential phases; higher tracks carry parallel
+// fan-out slots. Counter and gauge values are appended as "C" events.
+//
+// The event structure is validated first — unclosed or overlapping
+// (non-nested) spans are reported as an error and NOTHING is written, so
+// a malformed run can never corrupt an output file.
+func (o *Observer) WriteTrace(w io.Writer) error {
+	if o == nil {
+		return nil
+	}
+	if err := o.checkComplete(); err != nil {
+		return err
+	}
+	return writeTrace(w, o.Events(), o.Counters(), o.Gauges())
+}
+
+// writeTrace is the encoder core, split out so tests and the fuzz target
+// can drive it with arbitrary event lists.
+func writeTrace(w io.Writer, evs []Event, counters, gauges []Metric) error {
+	if err := validateEvents(evs); err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	buf.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n")
+	first := true
+	emit := func(te traceEvent) error {
+		b, err := json.Marshal(te)
+		if err != nil {
+			return err
+		}
+		if !first {
+			buf.WriteString(",\n")
+		}
+		first = false
+		buf.Write(b)
+		return nil
+	}
+	var last float64
+	for _, e := range evs {
+		te := traceEvent{
+			Name: e.Name, Ph: "X", Pid: 1, Tid: e.Track,
+			Ts: usec(int64(e.Start)), Dur: usec(int64(e.Dur())),
+		}
+		if e.Alloc >= 0 {
+			te.Args = map[string]any{"alloc_bytes": e.Alloc}
+		}
+		if ts := usec(int64(e.End)); ts > last {
+			last = ts
+		}
+		if err := emit(te); err != nil {
+			return err
+		}
+	}
+	for _, m := range counters {
+		if err := emit(traceEvent{Name: m.Name, Ph: "C", Pid: 1, Ts: last,
+			Args: map[string]any{"value": m.Value}}); err != nil {
+			return err
+		}
+	}
+	for _, m := range gauges {
+		if err := emit(traceEvent{Name: m.Name, Ph: "C", Pid: 1, Ts: last,
+			Args: map[string]any{"value": m.Value}}); err != nil {
+			return err
+		}
+	}
+	buf.WriteString("\n]}\n")
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// jsonlRecord is one JSON-lines record: a span, a counter or a gauge.
+type jsonlRecord struct {
+	Type    string `json:"type"`
+	Name    string `json:"name"`
+	Track   int    `json:"track,omitempty"`
+	StartNS int64  `json:"start_ns,omitempty"`
+	DurNS   int64  `json:"dur_ns,omitempty"`
+	Alloc   int64  `json:"alloc_bytes,omitempty"`
+	Value   int64  `json:"value,omitempty"`
+}
+
+// WriteJSONL emits the run as JSON lines — one span, counter or gauge
+// per line, in the same deterministic order as the trace. Like
+// WriteTrace it validates first and writes nothing on error.
+func (o *Observer) WriteJSONL(w io.Writer) error {
+	if o == nil {
+		return nil
+	}
+	if err := o.checkComplete(); err != nil {
+		return err
+	}
+	evs := o.Events()
+	if err := validateEvents(evs); err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, e := range evs {
+		rec := jsonlRecord{Type: "span", Name: e.Name, Track: e.Track,
+			StartNS: int64(e.Start), DurNS: int64(e.Dur())}
+		if e.Alloc >= 0 {
+			rec.Alloc = e.Alloc
+		}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	for _, m := range o.Counters() {
+		if err := enc.Encode(jsonlRecord{Type: "counter", Name: m.Name, Value: m.Value}); err != nil {
+			return err
+		}
+	}
+	for _, m := range o.Gauges() {
+		if err := enc.Encode(jsonlRecord{Type: "gauge", Name: m.Name, Value: m.Value}); err != nil {
+			return err
+		}
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}

@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func ms(n int64) time.Duration { return time.Duration(n) * time.Millisecond }
+
+func TestWriteTraceValidJSON(t *testing.T) {
+	o := New()
+	root := o.Start("compile")
+	o.StartTrack(1, "unit a.c").End()
+	root.End()
+	o.Start("analyze").End()
+	o.Counter("solver.cache_hits").Add(12)
+	o.Gauge("pool.queue.max").Max(4)
+
+	var buf bytes.Buffer
+	if err := o.WriteTrace(&buf); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("trace is not valid JSON:\n%s", buf.String())
+	}
+	var doc struct {
+		DisplayTimeUnit string       `json:"displayTimeUnit"`
+		TraceEvents     []traceEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	var spans, counters int
+	for _, te := range doc.TraceEvents {
+		switch te.Ph {
+		case "X":
+			spans++
+		case "C":
+			counters++
+		default:
+			t.Fatalf("unexpected phase %q", te.Ph)
+		}
+	}
+	if spans != 3 || counters != 2 {
+		t.Fatalf("spans = %d, counters = %d; want 3, 2", spans, counters)
+	}
+}
+
+func TestWriteTraceUnclosedSpanErrors(t *testing.T) {
+	o := New()
+	o.Start("compile") // never ended
+	var buf bytes.Buffer
+	err := o.WriteTrace(&buf)
+	if err == nil {
+		t.Fatal("unclosed span did not error")
+	}
+	if !strings.Contains(err.Error(), "open") {
+		t.Fatalf("error = %v", err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("error path wrote %d bytes", buf.Len())
+	}
+	if err := o.WriteJSONL(&buf); err == nil || buf.Len() != 0 {
+		t.Fatalf("WriteJSONL on unclosed span: err=%v, wrote %d bytes", err, buf.Len())
+	}
+}
+
+func TestValidateEventsRejectsOverlap(t *testing.T) {
+	evs := []Event{
+		{Name: "a", Start: ms(0), End: ms(10)},
+		{Name: "b", Start: ms(5), End: ms(15)}, // crosses a's end
+	}
+	sortEvents(evs)
+	if err := validateEvents(evs); err == nil {
+		t.Fatal("overlapping spans validated")
+	}
+	var buf bytes.Buffer
+	if err := writeTrace(&buf, evs, nil, nil); err == nil {
+		t.Fatal("writeTrace accepted overlapping spans")
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("error path wrote %d bytes", buf.Len())
+	}
+}
+
+func TestValidateEventsRejectsNegativeSpan(t *testing.T) {
+	evs := []Event{{Name: "a", Start: ms(5), End: ms(1)}}
+	if err := validateEvents(evs); err == nil {
+		t.Fatal("negative-duration span validated")
+	}
+}
+
+func TestValidateEventsAcceptsNestingAndSiblings(t *testing.T) {
+	evs := []Event{
+		{Name: "compile", Start: ms(0), End: ms(10)},
+		{Name: "parse", Start: ms(1), End: ms(4)},
+		{Name: "gen", Start: ms(4), End: ms(9)},
+		{Name: "link", Start: ms(10), End: ms(12)},
+		{Name: "unit", Track: 1, Start: ms(2), End: ms(8)},
+	}
+	sortEvents(evs)
+	if err := validateEvents(evs); err != nil {
+		t.Fatalf("validateEvents: %v", err)
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	o := New()
+	o.Start("analyze").End()
+	o.Counter("load.blocks").Add(7)
+	var buf bytes.Buffer
+	if err := o.WriteJSONL(&buf); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d, want 2:\n%s", len(lines), buf.String())
+	}
+	var rec jsonlRecord
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("line 0: %v", err)
+	}
+	if rec.Type != "span" || rec.Name != "analyze" {
+		t.Fatalf("line 0 = %+v", rec)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &rec); err != nil {
+		t.Fatalf("line 1: %v", err)
+	}
+	if rec.Type != "counter" || rec.Name != "load.blocks" || rec.Value != 7 {
+		t.Fatalf("line 1 = %+v", rec)
+	}
+}
+
+func TestFlagsObserver(t *testing.T) {
+	f := &Flags{}
+	if f.Observer() != nil {
+		t.Fatal("no flags set but observer non-nil")
+	}
+	f = &Flags{Stats: true}
+	o := f.Observer()
+	if o == nil {
+		t.Fatal("-stats set but observer nil")
+	}
+	if f.Observer() != o {
+		t.Fatal("Observer not idempotent")
+	}
+	if !o.memStats {
+		t.Fatal("-stats observer should record memstats")
+	}
+	f = &Flags{Trace: "x.json"}
+	if o := f.Observer(); o == nil || o.memStats {
+		t.Fatalf("-trace observer = %v (memstats should be off)", o)
+	}
+}

@@ -10,6 +10,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"cla/internal/obs"
 )
 
 // Workers normalizes a -j style job count: values <= 0 select
@@ -19,6 +21,44 @@ func Workers(j int) int {
 		return runtime.GOMAXPROCS(0)
 	}
 	return j
+}
+
+// poolObs holds pre-resolved pool counters so an instrumented batch pays
+// one atomic pointer load, not a registry lookup.
+type poolObs struct {
+	batches *obs.Counter // parallel batches started
+	tasks   *obs.Counter // total indexes dispatched
+	workers *obs.Gauge   // widest worker fan-out
+	queue   *obs.Gauge   // largest batch (queue depth high-water mark)
+}
+
+var observer atomic.Pointer[poolObs]
+
+// SetObserver routes pool utilization (batches, tasks, worker fan-out,
+// queue depth) into o's pool.* registry entries. Pass nil to detach. The
+// pool counters depend on the -j setting by construction, so they are
+// deliberately excluded from determinism-sensitive reports.
+func SetObserver(o *obs.Observer) {
+	if o == nil {
+		observer.Store(nil)
+		return
+	}
+	observer.Store(&poolObs{
+		batches: o.Counter("pool.batches"),
+		tasks:   o.Counter("pool.tasks"),
+		workers: o.Gauge("pool.workers.max"),
+		queue:   o.Gauge("pool.queue.max"),
+	})
+}
+
+func (p *poolObs) note(j, n int) {
+	if p == nil {
+		return
+	}
+	p.batches.Inc()
+	p.tasks.Add(int64(n))
+	p.workers.Max(int64(j))
+	p.queue.Max(int64(n))
 }
 
 // ForEach runs fn(0)..fn(n-1) on up to j workers (j <= 0 means
@@ -34,6 +74,7 @@ func ForEach(j, n int, fn func(i int) error) error {
 	if j > n {
 		j = n
 	}
+	observer.Load().note(j, n)
 	if j == 1 {
 		for i := 0; i < n; i++ {
 			if err := fn(i); err != nil {

@@ -6,6 +6,8 @@ import (
 	"runtime"
 	"sync/atomic"
 	"testing"
+
+	"cla/internal/obs"
 )
 
 func TestWorkers(t *testing.T) {
@@ -116,5 +118,39 @@ func TestReduceError(t *testing.T) {
 	})
 	if err == nil {
 		t.Error("merge error not surfaced")
+	}
+}
+
+// TestDetachedObserverAllocatesNothing pins the disabled-instrumentation
+// cost of the pool hook: with no observer attached, noting a batch must
+// not allocate (one atomic load and a nil-receiver call).
+func TestDetachedObserverAllocatesNothing(t *testing.T) {
+	SetObserver(nil)
+	if n := testing.AllocsPerRun(100, func() {
+		observer.Load().note(4, 128)
+	}); n != 0 {
+		t.Errorf("detached pool hook allocates %v per batch, want 0", n)
+	}
+}
+
+// TestSetObserverCounts checks the attached path records batches, tasks
+// and the worker/queue high-water marks.
+func TestSetObserverCounts(t *testing.T) {
+	o := obs.New()
+	SetObserver(o)
+	defer SetObserver(nil)
+	if err := ForEach(3, 10, func(i int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int64{"pool.batches": 1, "pool.tasks": 10}
+	for _, m := range o.Counters() {
+		if v, ok := want[m.Name]; ok && m.Value != v {
+			t.Errorf("%s = %d, want %d", m.Name, m.Value, v)
+		}
+	}
+	for _, g := range o.Gauges() {
+		if g.Name == "pool.workers.max" && g.Value != 3 {
+			t.Errorf("pool.workers.max = %d, want 3", g.Value)
+		}
 	}
 }

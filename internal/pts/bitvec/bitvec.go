@@ -210,10 +210,7 @@ func SolveJobs(src pts.Source, jobs int) (*Result, error) {
 		}
 	}
 
-	counts := src.Counts()
-	for _, c := range counts {
-		s.m.InFile += c
-	}
+	s.m.InFile = pts.TotalAssigns(src)
 	res := &Result{pt: s.pt[:s.n], lvals: s.lvals, n: s.n, m: s.m}
 	w := parallel.Workers(jobs)
 	vars := make([]int, w)

@@ -213,10 +213,7 @@ func Solve(src pts.Source) (*Result, error) {
 		}
 	}
 
-	counts := src.Counts()
-	for _, c := range counts {
-		s.m.InFile += c
-	}
+	s.m.InFile = pts.TotalAssigns(src)
 	res := &Result{s: s}
 	vars, rels := 0, 0
 	for i := 0; i < n; i++ {

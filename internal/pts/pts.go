@@ -8,6 +8,7 @@ import (
 	"sort"
 
 	"cla/internal/objfile"
+	"cla/internal/obs"
 	"cla/internal/prim"
 )
 
@@ -190,4 +191,42 @@ func SumRelations(src Source, r Result) (int, int) {
 		}
 	}
 	return vars, rels
+}
+
+// TotalAssigns sums the database's per-kind assignment counts — the
+// Table 3 "in file" column every solver reports.
+func TotalAssigns(src Source) int {
+	total := 0
+	for _, n := range src.Counts() {
+		total += n
+	}
+	return total
+}
+
+// FinalizeMetrics fills the fields every solver computes the same way:
+// InFile from the database counts and (PointerVars, Relations) from the
+// converged result. Solver-specific fields (Passes, Unifications, cache
+// behaviour) stay with the solver that produced them.
+func FinalizeMetrics(src Source, r Result, m *Metrics) {
+	m.InFile = TotalAssigns(src)
+	m.PointerVars, m.Relations = SumRelations(src, r)
+}
+
+// Publish copies m into o's solver.* counter registry so all five
+// solvers surface identical metric names in -stats, the trace and the
+// benchmarks. A nil observer no-ops.
+func (m Metrics) Publish(o *obs.Observer) {
+	if o == nil {
+		return
+	}
+	o.SetCounter("solver.pointer_vars", int64(m.PointerVars))
+	o.SetCounter("solver.relations", int64(m.Relations))
+	o.SetCounter("solver.in_core", int64(m.InCore))
+	o.SetCounter("solver.loaded", int64(m.Loaded))
+	o.SetCounter("solver.in_file", int64(m.InFile))
+	o.SetCounter("solver.passes", int64(m.Passes))
+	o.SetCounter("solver.unifications", int64(m.Unifications))
+	o.SetCounter("solver.cache_hits", m.CacheHits)
+	o.SetCounter("solver.cache_misses", m.CacheMisses)
+	o.SetCounter("solver.edges_added", int64(m.EdgesAdded))
 }

@@ -140,10 +140,7 @@ func Solve(src pts.Source) (*Result, error) {
 		}
 	}
 
-	counts := src.Counts()
-	for _, c := range counts {
-		s.m.InFile += c
-	}
+	s.m.InFile = pts.TotalAssigns(src)
 	res := &Result{s: s}
 	// Count metrics directly from class sizes: materializing each
 	// variable's set (as pts.SumRelations would) is quadratic when

@@ -166,14 +166,8 @@ func Solve(src pts.Source) (*Result, error) {
 		}
 	}
 
-	counts := src.Counts()
-	for _, c := range counts {
-		s.m.InFile += c
-	}
 	res := &Result{pt: s.pt[:s.n], m: s.m}
-	vars, rels := pts.SumRelations(src, res)
-	res.m.PointerVars = vars
-	res.m.Relations = rels
+	pts.FinalizeMetrics(src, res, &res.m)
 	return res, nil
 }
 

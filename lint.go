@@ -107,7 +107,7 @@ func (r *LintReport) ModRef() []ModRefSummary {
 // empty-points-to dereference checks. Output is deterministic at every
 // Jobs setting.
 func (a *Analysis) Lint(opts *LintOptions) (*LintReport, error) {
-	copts := checks.Options{}
+	copts := checks.Options{Obs: a.o}
 	if opts != nil {
 		cs, err := checks.ParseChecks(opts.Checks)
 		if err != nil {
