@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build check test vet fmt race bench fuzz-smoke clean
+.PHONY: all build check test vet fmt race bench bench-smoke fuzz-smoke clean
 
 all: build
 
@@ -22,21 +22,28 @@ test:
 vet:
 	$(GO) vet ./...
 
-# Race extras: the parallel pipeline and the checks engine must stay
-# race-clean and deterministic at any -j.
+# Race extras: the parallel pipeline, the checks engine and the shared
+# set layer must stay race-clean and deterministic at any -j.
 race:
-	$(GO) test -race ./internal/core ./internal/driver ./internal/linker ./internal/parallel ./internal/checks
+	$(GO) test -race ./internal/core ./internal/driver ./internal/linker ./internal/parallel ./internal/checks ./internal/pts/set
 
 check: build fmt vet test race
 
 bench:
 	$(GO) test -bench=. -benchmem ./internal/bench
 
-# Short fuzz runs over the binary object-file reader and the trace
-# encoder: corrupt inputs must error, never panic or corrupt output.
+# One-iteration benchmark compile-and-run: catches benchmarks that rot
+# (build failures, panics) without paying for stable timings.
+bench-smoke:
+	$(GO) test -run=^$$ -bench=. -benchtime=1x ./internal/pts/set ./internal/core
+
+# Short fuzz runs over the binary object-file reader, the trace encoder
+# and the adaptive set layer: corrupt inputs must error (never panic or
+# corrupt output), and set operations must match their map oracles.
 fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzReader -fuzztime=10s ./internal/objfile
 	$(GO) test -run=^$$ -fuzz=FuzzTrace -fuzztime=10s ./internal/obs
+	$(GO) test -run=^$$ -fuzz=FuzzSetOps -fuzztime=10s ./internal/pts/set
 
 clean:
 	$(GO) clean ./...

@@ -11,6 +11,7 @@
 //	clabench -table 7                    # §4 database transformations
 //	clabench -table 8 -j 8               # sequential vs parallel pipeline
 //	clabench -table 9                    # analysis clients (clalint checks)
+//	clabench -table 10                   # set machinery: time/alloc/live per solver
 //	clabench -all                        # everything
 //
 // Absolute times depend on the host; the shapes (who wins, by what
@@ -31,7 +32,7 @@ import (
 
 func main() {
 	var (
-		table     = flag.Int("table", 0, "table to regenerate (2-9)")
+		table     = flag.Int("table", 0, "table to regenerate (2-10)")
 		all       = flag.Bool("all", false, "regenerate every table")
 		scale     = flag.Float64("scale", 1.0, "workload scale factor")
 		seed      = flag.Int64("seed", 1, "generation seed")
@@ -40,12 +41,13 @@ func main() {
 		jobs      = flag.Int("j", runtime.GOMAXPROCS(0), "worker count for the parallel-pipeline table")
 		jsonOut   = flag.String("json", "BENCH_parallel.json", "file recording the parallel-pipeline rows (empty to skip)")
 		checksOut = flag.String("checks-json", "BENCH_checks.json", "file recording the analysis-client rows (empty to skip)")
+		setsOut   = flag.String("sets-json", "BENCH_sets.json", "file recording the set-machinery rows (empty to skip)")
 	)
 	obsFlags := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
 
-	if !*all && (*table < 2 || *table > 9) {
-		fmt.Fprintln(os.Stderr, "clabench: pass -all or -table 2..9")
+	if !*all && (*table < 2 || *table > 10) {
+		fmt.Fprintln(os.Stderr, "clabench: pass -all or -table 2..10")
 		os.Exit(2)
 	}
 	o := obsFlags.Observer()
@@ -59,7 +61,7 @@ func main() {
 	need := func(t int) bool { return *all || *table == t }
 
 	var workloads []*bench.Workload
-	if need(2) || need(3) || need(4) || need(6) || need(7) || need(9) {
+	if need(2) || need(3) || need(4) || need(6) || need(7) || need(9) || need(10) {
 		fmt.Fprintf(os.Stderr, "clabench: building %d workloads at scale %g...\n",
 			len(gen.Table2), *scale)
 		bsp := span("build workloads")
@@ -205,6 +207,25 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Fprintf(os.Stderr, "clabench: wrote %s\n", *checksOut)
+		}
+		tsp.End()
+	}
+	if need(10) {
+		tsp := span("table 10")
+		fmt.Printf("== Set machinery: time / bytes allocated / live bytes per solver (-j 1 vs -j %d) ==\n", *jobs)
+		rows, err := bench.RunSetsAll(workloads, *jobs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "clabench: %v\n", err)
+			os.Exit(1)
+		}
+		bench.FormatSets(os.Stdout, rows)
+		if *setsOut != "" {
+			meta := bench.NewMeta("set-machinery", *jobs, *scale, *seed)
+			if err := bench.WriteSetsJSON(*setsOut, rows, meta); err != nil {
+				fmt.Fprintf(os.Stderr, "clabench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "clabench: wrote %s\n", *setsOut)
 		}
 		tsp.End()
 	}

@@ -32,6 +32,7 @@ import (
 	"cla/internal/parallel"
 	"cla/internal/prim"
 	"cla/internal/pts"
+	"cla/internal/pts/set"
 )
 
 // Config controls the solver's optimizations; the zero value disables
@@ -100,11 +101,20 @@ type Solver struct {
 	tLow     []int32
 	tOnStack []bool
 	tDone    []bool
-	tVal     [][]prim.SymID
+	tVal     []*set.Set
 	nEpoch   int32
 	nSeen    []int32
 	gnBuf    []int32
-	interned map[uint64][][]prim.SymID
+	gnSyms   []prim.SymID
+	lvBuf    []prim.SymID
+
+	// Per-pass set machinery: reachability results are sealed into the
+	// arena and hash-consed through the table, both rewound at each pass
+	// boundary so set storage tracks the high-water mark of one pass
+	// instead of the churn of all of them.
+	arena *set.Arena
+	table *set.Table
+	bld   set.Builder
 
 	// snap is the frozen read-only query structure built after the
 	// fixpoint converges; all Result queries go through it (see
@@ -117,7 +127,7 @@ type Solver struct {
 type node struct {
 	skip  int32 // ≥0: unified into that node
 	edges []int32
-	eset  map[int32]struct{}
+	eset  *set.Sparse
 	base  []prim.SymID // sorted base elements (lvals)
 	deref int32        // node id of n(*x), or -1
 
@@ -127,7 +137,7 @@ type node struct {
 	unloaded []int32
 
 	cachePass int32
-	cache     []prim.SymID
+	cache     *set.Set
 }
 
 // Solve runs the analysis over src.
@@ -140,7 +150,8 @@ func Solve(src pts.Source, cfg Config) (*Result, error) {
 		cfg:       cfg,
 		numSyms:   int32(src.NumSyms()),
 		recOfFunc: map[int32]int{},
-		interned:  map[uint64][][]prim.SymID{},
+		arena:     set.NewArena(),
+		table:     set.NewTable(),
 	}
 	s.nodes = make([]node, s.numSyms)
 	for i := range s.nodes {
@@ -196,7 +207,7 @@ func Solve(src pts.Source, cfg Config) (*Result, error) {
 		}
 		s.m.Passes++
 		s.changed = false
-		s.flushInterned()
+		s.flushShared()
 
 		for i := 0; i < len(s.complex); i++ {
 			ca := s.complex[i]
@@ -244,11 +255,15 @@ func Solve(src pts.Source, cfg Config) (*Result, error) {
 	return res, nil
 }
 
-// releaseScratch frees the traversal state the snapshot supersedes.
+// releaseScratch frees the traversal state the snapshot supersedes,
+// including the per-pass arena (whose sets no guarded read can reach
+// once the final pass counter has advanced).
 func (s *Solver) releaseScratch() {
 	s.tVisit, s.tIndex, s.tLow, s.tOnStack, s.tDone = nil, nil, nil, nil, nil
 	s.tVal, s.nSeen, s.gnBuf = nil, nil, nil
-	s.interned = nil
+	s.gnSyms, s.lvBuf = nil, nil
+	s.arena, s.table = nil, nil
+	s.bld = set.Builder{}
 	for i := range s.nodes {
 		s.nodes[i].cache = nil
 		s.nodes[i].eset = nil
@@ -262,7 +277,8 @@ func (s *Solver) funcPtrPass() error {
 	for _, ri := range s.ptrRecs {
 		r := &s.recs[ri]
 		fpNode := s.find(int32(r.Func))
-		for _, lv := range s.getLvals(fpNode) {
+		s.lvBuf = s.getLvals(fpNode).AppendSyms(s.lvBuf[:0])
+		for _, lv := range s.lvBuf {
 			gi, ok := s.recOfFunc[int32(lv)]
 			if !ok {
 				continue

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"cla/internal/prim"
+	"cla/internal/pts/set"
 )
 
 // find returns the representative of n, compressing skip chains.
@@ -71,15 +72,14 @@ func (s *Solver) addEdge(a, b int32) bool {
 	}
 	na := &s.nodes[a]
 	if na.eset == nil {
-		na.eset = make(map[int32]struct{}, 4)
+		na.eset = new(set.Sparse)
 		for _, e := range na.edges {
-			na.eset[e] = struct{}{}
+			na.eset.Add(e)
 		}
 	}
-	if _, ok := na.eset[b]; ok {
+	if !na.eset.Add(b) {
 		return false
 	}
-	na.eset[b] = struct{}{}
 	na.edges = append(na.edges, b)
 	na.cachePass = 0
 	s.m.EdgesAdded++
@@ -187,17 +187,16 @@ func (s *Solver) unify(a, b int32) int32 {
 
 	// Edges.
 	if nb.eset == nil && len(na.edges) > 0 {
-		nb.eset = make(map[int32]struct{}, len(nb.edges)+len(na.edges))
+		nb.eset = new(set.Sparse)
 		for _, e := range nb.edges {
-			nb.eset[e] = struct{}{}
+			nb.eset.Add(e)
 		}
 	}
 	for _, e := range na.edges {
 		if e == b || e == a {
 			continue
 		}
-		if _, ok := nb.eset[e]; !ok {
-			nb.eset[e] = struct{}{}
+		if nb.eset.Add(e) {
 			nb.edges = append(nb.edges, e)
 		}
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"cla/internal/prim"
+	"cla/internal/pts/set"
 )
 
 // This file implements getLvals — the graph reachability computation at the
@@ -16,9 +17,15 @@ import (
 //
 // With caching enabled, computed sets are stored on nodes tagged with the
 // current pass; the outer fixpoint's nochange flag repairs staleness.
+//
+// Sets are accumulated in the solver's Builder (reused merge scratch) and
+// sealed into the per-pass arena through the hash-consing table, so
+// structurally identical sets are stored once and the whole generation is
+// reclaimed with two pointer rewinds at the pass boundary.
 
-// getLvals returns the set of lvals reachable from node n (Figure 5).
-func (s *Solver) getLvals(n int32) []prim.SymID {
+// getLvals returns the set of lvals reachable from node n (Figure 5) as a
+// sealed set valid until the end of the current pass.
+func (s *Solver) getLvals(n int32) *set.Set {
 	n = s.find(n)
 	if s.cfg.Cache && s.nodes[n].cachePass == s.pass {
 		s.m.CacheHits++
@@ -36,11 +43,11 @@ func (s *Solver) getLvals(n int32) []prim.SymID {
 // rules. The returned slice is scratch owned by the solver and is only
 // valid until the next call.
 func (s *Solver) getLvalsNodes(n int32) []int32 {
-	lvals := s.getLvals(n)
+	s.gnSyms = s.getLvals(n).AppendSyms(s.gnSyms[:0])
 	s.ensureScratch()
 	s.nEpoch++
 	out := s.gnBuf[:0]
-	for _, lv := range lvals {
+	for _, lv := range s.gnSyms {
 		r := s.find(int32(lv))
 		if s.nSeen[r] != s.nEpoch {
 			s.nSeen[r] = s.nEpoch
@@ -51,7 +58,19 @@ func (s *Solver) getLvalsNodes(n int32) []int32 {
 	return out
 }
 
+// flushShared rewinds the per-pass set storage: the interning table
+// forgets its entries (keeping buckets) and the arena rewinds to its
+// first slab (keeping slabs). Every set sealed in the previous pass
+// becomes invalid; all reads are guarded by cachePass/epoch tags that
+// the pass increment has already aged out.
+func (s *Solver) flushShared() {
+	s.table.Reset()
+	s.arena.Reset()
+}
+
 // ensureScratch sizes the traversal arrays for the current node count.
+// Every array follows the same policy: grow to twice the node count
+// whenever the tVisit sentinel array is behind, preserving contents.
 func (s *Solver) ensureScratch() {
 	n := len(s.nodes)
 	if len(s.tVisit) >= n {
@@ -69,11 +88,9 @@ func (s *Solver) ensureScratch() {
 	g4 := make([]bool, n*2)
 	copy(g4, s.tOnStack)
 	s.tOnStack = g4
-	if s.tVal == nil || len(s.tVal) < n*2 {
-		g5 := make([][]prim.SymID, n*2)
-		copy(g5, s.tVal)
-		s.tVal = g5
-	}
+	g5 := make([]*set.Set, n*2)
+	copy(g5, s.tVal)
+	s.tVal = g5
 	g6 := make([]bool, n*2)
 	copy(g6, s.tDone)
 	s.tDone = g6
@@ -91,7 +108,7 @@ type tframe struct {
 // cycles as they are found. Every node completed during the traversal gets
 // its final set for this pass (cached when caching is on), so subsequent
 // getLvals calls in the same pass are O(1) for the whole visited region.
-func (s *Solver) reachTarjan(root int32) []prim.SymID {
+func (s *Solver) reachTarjan(root int32) *set.Set {
 	s.ensureScratch()
 	s.tEpoch++
 	epoch := s.tEpoch
@@ -102,7 +119,7 @@ func (s *Solver) reachTarjan(root int32) []prim.SymID {
 
 	// completedVal returns the final set for a node finished either in
 	// this traversal or in an earlier traversal of the same pass (cache).
-	completedVal := func(w int32) ([]prim.SymID, bool) {
+	completedVal := func(w int32) (*set.Set, bool) {
 		if s.tVisit[w] == epoch && s.tDone[w] {
 			return s.tVal[w], true
 		}
@@ -180,13 +197,14 @@ func (s *Solver) reachTarjan(root int32) []prim.SymID {
 				break
 			}
 		}
-		// Union base elements and external children's final sets. SCC
-		// membership is tagged through the epoch scratch (cheaper than a
-		// per-SCC map).
-		var acc []prim.SymID
+		// Union base elements and external children's final sets into
+		// the builder. SCC membership is tagged through the epoch
+		// scratch (cheaper than a per-SCC map).
+		b := &s.bld
+		b.Reset()
 		s.nEpoch++
 		for _, m := range members {
-			acc = mergeSorted(acc, s.nodes[m].base)
+			b.MergeSyms(s.nodes[m].base)
 			s.nSeen[m] = s.nEpoch
 		}
 		for _, m := range members {
@@ -196,11 +214,11 @@ func (s *Solver) reachTarjan(root int32) []prim.SymID {
 					continue
 				}
 				if val, ok := completedVal(w); ok {
-					acc = mergeSorted(acc, val)
+					b.MergeSet(val)
 				}
 			}
 		}
-		acc = s.internSet(acc)
+		acc := b.Seal(s.arena, s.table)
 
 		rep := v
 		if s.cfg.CycleElim && len(members) > 1 {
@@ -238,7 +256,7 @@ func (s *Solver) reachTarjan(root int32) []prim.SymID {
 // elimination is off; with caching on, only the queried root's result is
 // stored (intermediate values are unsafe to cache in the presence of
 // cycles without SCC information).
-func (s *Solver) reachPlain(root int32) []prim.SymID {
+func (s *Solver) reachPlain(root int32) *set.Set {
 	s.ensureScratch()
 	s.tEpoch++
 	epoch := s.tEpoch
@@ -246,15 +264,16 @@ func (s *Solver) reachPlain(root int32) []prim.SymID {
 
 	stack := []int32{root}
 	s.tVisit[root] = epoch
-	var acc []prim.SymID
+	b := &s.bld
+	b.Reset()
 	for len(stack) > 0 {
 		v := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		if s.cfg.Cache && s.nodes[v].cachePass == s.pass && v != root {
-			acc = mergeSorted(acc, s.nodes[v].cache)
+			b.MergeSet(s.nodes[v].cache)
 			continue
 		}
-		acc = mergeSorted(acc, s.nodes[v].base)
+		b.MergeSyms(s.nodes[v].base)
 		for _, e := range s.nodes[v].edges {
 			w := s.find(e)
 			if s.tVisit[w] != epoch {
@@ -263,7 +282,7 @@ func (s *Solver) reachPlain(root int32) []prim.SymID {
 			}
 		}
 	}
-	acc = s.internSet(acc)
+	acc := b.Seal(s.arena, s.table)
 	if s.cfg.Cache {
 		s.nodes[root].cache = acc
 		s.nodes[root].cachePass = s.pass
@@ -271,15 +290,11 @@ func (s *Solver) reachPlain(root int32) []prim.SymID {
 	return acc
 }
 
-// internSet shares identical lval sets through a per-pass hash table (the
-// paper's third optimization: "many lval sets are identical").
-func (s *Solver) internSet(set []prim.SymID) []prim.SymID {
-	return internInto(s.interned, set)
-}
-
 // internInto canonicalizes set against table, returning the previously
 // stored equal set when one exists. FNV-1a over the elements keeps
-// hashing allocation-free.
+// hashing allocation-free. Retained for the snapshot's cross-level
+// sharing of heap-owned slices (the fixpoint's per-pass sharing now goes
+// through set.Table).
 func internInto(table map[uint64][][]prim.SymID, set []prim.SymID) []prim.SymID {
 	if len(set) == 0 {
 		return nil
@@ -295,18 +310,6 @@ func internInto(table map[uint64][][]prim.SymID, set []prim.SymID) []prim.SymID 
 	}
 	table[key] = append(table[key], set)
 	return set
-}
-
-// flushInterned empties the sharing table at each pass boundary. The map
-// is reused (clear, not reallocate): this runs once per pass on the hot
-// fixpoint path, and dropping the map would also drop the buckets its
-// table has already grown.
-func (s *Solver) flushInterned() {
-	if s.interned == nil {
-		s.interned = map[uint64][][]prim.SymID{}
-		return
-	}
-	clear(s.interned)
 }
 
 func equalSets(a, b []prim.SymID) bool {

@@ -3,6 +3,7 @@ package core
 import (
 	"cla/internal/parallel"
 	"cla/internal/prim"
+	"cla/internal/pts/set"
 )
 
 // This file implements the read-only snapshot query mode. During the
@@ -116,18 +117,20 @@ func (s *Solver) buildSnapshot() *snapshot {
 	// locking.
 	sn.sets = make([][]prim.SymID, nc)
 	interned := map[uint64][][]prim.SymID{}
+	builders := make([]set.Builder, parallel.Workers(s.cfg.Jobs))
 	for _, bucket := range buckets {
-		parallel.Shard(s.cfg.Jobs, len(bucket), func(_, lo, hi int) error {
+		parallel.Shard(s.cfg.Jobs, len(bucket), func(wk, lo, hi int) error {
+			b := &builders[wk]
 			for bi := lo; bi < hi; bi++ {
 				c := bucket[bi]
-				var acc []prim.SymID
+				b.Reset()
 				for _, m := range members[c] {
-					acc = mergeSorted(acc, s.nodes[m].base)
+					b.MergeSyms(s.nodes[m].base)
 				}
 				for _, sc := range succs[c] {
-					acc = mergeSorted(acc, sn.sets[sc])
+					b.MergeSyms(sn.sets[sc])
 				}
-				sn.sets[c] = acc
+				sn.sets[c] = b.Syms()
 			}
 			return nil
 		})

@@ -176,11 +176,15 @@ func AnalyzeProgram(p *prim.Program, solver Solver, cfg core.Config) (pts.Result
 // AnalyzeObs is Analyze under an observer: the solve runs inside an
 // "analyze" span and the converged metrics are published into the
 // observer's solver.* counters — the publish-at-end idiom, so the
-// solver's hot loop never touches the observer. The nil observer costs
-// nothing.
+// solver's hot loop never touches the observer. A background sampler
+// records the heap high-water mark of the solve into the
+// analyze.heap_peak_bytes gauge (the paper's Table 2 memory column).
+// The nil observer costs nothing.
 func AnalyzeObs(src pts.Source, solver Solver, cfg core.Config, o *obs.Observer) (pts.Result, error) {
 	sp := o.Start("analyze")
+	stopHeap := obs.WatchHeap(o.Gauge("analyze.heap_peak_bytes"), 0)
 	res, err := Analyze(src, solver, cfg)
+	stopHeap()
 	sp.End()
 	if err != nil {
 		return nil, err

@@ -2,6 +2,7 @@ package driver
 
 import (
 	"fmt"
+	"strings"
 
 	"cla/internal/objfile"
 	"cla/internal/obs"
@@ -79,7 +80,14 @@ func CounterSection(o *obs.Observer) obs.Section {
 		if isPoolMetric(m.Name) {
 			continue
 		}
-		sec.Rows = append(sec.Rows, obs.KV{Key: m.Name, Value: fmt.Sprintf("%d", m.Value)})
+		val := fmt.Sprintf("%d", m.Value)
+		if strings.HasSuffix(m.Name, "_bytes") {
+			// Byte-valued gauges (heap high-water marks) are run-dependent;
+			// the +size rendering matches the span allocation figures so
+			// the determinism normalizers treat them the same way.
+			val = "+" + obs.FmtBytes(m.Value)
+		}
+		sec.Rows = append(sec.Rows, obs.KV{Key: m.Name, Value: val})
 	}
 	return sec
 }

@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// WatchHeap samples runtime.MemStats.HeapAlloc into g (a high-water
+// gauge) every interval until the returned stop function is called.
+// One sample is taken immediately and one more at stop, so even a phase
+// shorter than the interval records a reading. interval <= 0 selects a
+// default suited to solver runs. A nil gauge (instrumentation off)
+// spawns nothing and the stop function is a free no-op; stop is
+// idempotent.
+func WatchHeap(g *Gauge, interval time.Duration) (stop func()) {
+	if g == nil {
+		return func() {}
+	}
+	if interval <= 0 {
+		interval = 10 * time.Millisecond
+	}
+	sample := func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		g.Max(int64(ms.HeapAlloc))
+	}
+	sample()
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				sample()
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			<-finished
+			sample()
+		})
+	}
+}

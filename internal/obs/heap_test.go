@@ -1,0 +1,34 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestWatchHeapRecordsHighWater(t *testing.T) {
+	o := New()
+	g := o.Gauge("analyze.heap_peak_bytes")
+	stop := WatchHeap(g, time.Millisecond)
+	// Hold a large allocation across at least one sampling tick so the
+	// high-water mark must reflect it.
+	buf := make([]byte, 8<<20)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	time.Sleep(5 * time.Millisecond)
+	stop()
+	stop() // idempotent
+	if v := g.Value(); v < int64(len(buf)) {
+		t.Fatalf("heap peak %d below the %d bytes held live", v, len(buf))
+	}
+	_ = buf[0]
+}
+
+func TestWatchHeapNilGauge(t *testing.T) {
+	// A nil observer hands out nil gauges; watching one must be a no-op
+	// that still returns a callable stop.
+	var o *Observer
+	stop := WatchHeap(o.Gauge("x"), time.Millisecond)
+	stop()
+	stop()
+}

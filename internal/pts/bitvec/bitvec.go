@@ -12,6 +12,7 @@ import (
 	"cla/internal/parallel"
 	"cla/internal/prim"
 	"cla/internal/pts"
+	"cla/internal/pts/set"
 )
 
 // Result holds the solved relation with bit-vector sets.
@@ -62,16 +63,17 @@ type solver struct {
 	bitOf  map[prim.SymID]int
 	lvals  []prim.SymID
 	pt     []bitset
-	succ   []map[int32]struct{}
+	succ   []set.Sparse
 	loads  map[int32][]int32
 	stores map[int32][]int32
 
 	recOfFunc map[int32]*prim.FuncRecord
 	ptrRecs   []*prim.FuncRecord
 
-	work []int32
-	inWk []bool
-	m    pts.Metrics
+	work    []int32
+	inWk    []bool
+	succBuf []int32 // scratch for iterating succ[v] in ascending order
+	m       pts.Metrics
 }
 
 // Solve runs the bit-vector Andersen analysis, materializing the final
@@ -115,7 +117,7 @@ func SolveJobs(src pts.Source, jobs int) (*Result, error) {
 	}
 	s.words = (len(s.lvals) + 63) / 64
 	s.pt = make([]bitset, s.n)
-	s.succ = make([]map[int32]struct{}, s.n)
+	s.succ = make([]set.Sparse, s.n)
 	s.inWk = make([]bool, s.n)
 
 	funcs := src.Funcs()
@@ -203,7 +205,8 @@ func SolveJobs(src pts.Source, jobs int) (*Result, error) {
 				})
 			}
 		}
-		for w := range s.succ[v] {
+		s.succBuf = s.succ[v].AppendTo(s.succBuf[:0])
+		for _, w := range s.succBuf {
 			if s.ensure(w).or(set) {
 				s.enqueue(w)
 			}
@@ -257,7 +260,7 @@ func (s *solver) ensure(v int32) bitset {
 func (s *solver) extend() int32 {
 	id := int32(len(s.pt))
 	s.pt = append(s.pt, nil)
-	s.succ = append(s.succ, nil)
+	s.succ = append(s.succ, set.Sparse{})
 	s.inWk = append(s.inWk, false)
 	return id
 }
@@ -279,13 +282,9 @@ func (s *solver) addEdge(a, b int32) {
 	if a == b {
 		return
 	}
-	if s.succ[a] == nil {
-		s.succ[a] = map[int32]struct{}{}
-	}
-	if _, ok := s.succ[a][b]; ok {
+	if !s.succ[a].Add(b) {
 		return
 	}
-	s.succ[a][b] = struct{}{}
 	s.m.EdgesAdded++
 	if s.pt[a] != nil && s.ensure(b).or(s.pt[a]) {
 		s.enqueue(b)

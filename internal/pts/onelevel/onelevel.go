@@ -19,10 +19,9 @@
 package onelevel
 
 import (
-	"sort"
-
 	"cla/internal/prim"
 	"cla/internal/pts"
+	"cla/internal/pts/set"
 )
 
 type solver struct {
@@ -49,9 +48,11 @@ type solver struct {
 	virtual []bool
 	funcsIn [][]int32
 
-	// Top level: directional flow.
-	ptsOf []map[int32]struct{} // variable → set of location classes
-	succ  []map[int32]struct{} // flow edges y → x for x = y
+	// Top level: directional flow. Both sides use adaptive sparse sets
+	// iterated in ascending order, so the worklist dynamics (and the
+	// order unifications happen in) are deterministic.
+	ptsOf []set.Sparse // variable → set of location classes
+	succ  []set.Sparse // flow edges y → x for x = y
 	// loads[y] are x with x = *y; stores[x] are y with *x = y.
 	loads  map[int32][]int32
 	stores map[int32][]int32
@@ -64,9 +65,10 @@ type solver struct {
 	sinks  map[int32]int32 // class rep → sink var
 	sinkOf map[int32]int32 // sink var → class
 
-	work []int32
-	inWk []bool
-	m    pts.Metrics
+	work    []int32
+	inWk    []bool
+	succBuf []int32 // scratch for iterating succ[v] in ascending order
+	m       pts.Metrics
 }
 
 // Result is the solved relation.
@@ -82,8 +84,8 @@ func Solve(src pts.Source) (*Result, error) {
 		members:   make([][]prim.SymID, n),
 		contents:  make([]int32, n),
 		funcsIn:   make([][]int32, n),
-		ptsOf:     make([]map[int32]struct{}, n),
-		succ:      make([]map[int32]struct{}, n),
+		ptsOf:     make([]set.Sparse, n),
+		succ:      make([]set.Sparse, n),
 		loads:     map[int32][]int32{},
 		stores:    map[int32][]int32{},
 		recOfFunc: map[int32]*prim.FuncRecord{},
@@ -205,8 +207,11 @@ func Solve(src pts.Source) (*Result, error) {
 				}
 			}
 		}
-		// Propagate along top-level flow edges.
-		for w := range s.succ[v] {
+		// Propagate along top-level flow edges. The rules above may have
+		// added edges out of v; snapshotting after them captures those
+		// (addFlow also propagates immediately, so either way is sound).
+		s.succBuf = s.succ[v].AppendTo(s.succBuf[:0])
+		for _, w := range s.succBuf {
 			if s.union(w, set) {
 				s.enqueue(w)
 			}
@@ -270,20 +275,22 @@ func (s *solver) sinkFor(e int32) int32 {
 	return v
 }
 
-// classesOf returns the (found) classes of v's points-to set.
+// classesOf returns the (found) classes of v's points-to set. The slice
+// is always fresh: callers hold it across nested rule invocations that
+// may call classesOf again.
 func (s *solver) classesOf(v int32) []int32 {
-	set := s.ptsOf[v]
-	out := make([]int32, 0, len(set))
-	for e := range set {
+	ps := &s.ptsOf[v]
+	out := make([]int32, 0, ps.Len())
+	ps.ForEach(func(e int32) {
 		out = append(out, s.find(e))
-	}
+	})
 	return out
 }
 
 func (s *solver) extendVar() int32 {
 	id := int32(len(s.ptsOf))
-	s.ptsOf = append(s.ptsOf, nil)
-	s.succ = append(s.succ, nil)
+	s.ptsOf = append(s.ptsOf, set.Sparse{})
+	s.succ = append(s.succ, set.Sparse{})
 	s.inWk = append(s.inWk, false)
 	return id
 }
@@ -384,13 +391,9 @@ func (s *solver) unify(a, b int32) int32 {
 // addPts inserts class e into pts(v), activating it.
 func (s *solver) addPts(v, e int32) {
 	e = s.find(e)
-	if s.ptsOf[v] == nil {
-		s.ptsOf[v] = map[int32]struct{}{}
-	}
-	if _, ok := s.ptsOf[v][e]; ok {
+	if !s.ptsOf[v].Add(e) {
 		return
 	}
-	s.ptsOf[v][e] = struct{}{}
 	s.activate(e)
 	s.enqueue(v)
 }
@@ -400,12 +403,7 @@ func (s *solver) addPts(v, e int32) {
 func (s *solver) union(v int32, classes []int32) bool {
 	grew := false
 	for _, e := range classes {
-		e = s.find(e)
-		if s.ptsOf[v] == nil {
-			s.ptsOf[v] = map[int32]struct{}{}
-		}
-		if _, ok := s.ptsOf[v][e]; !ok {
-			s.ptsOf[v][e] = struct{}{}
+		if s.ptsOf[v].Add(s.find(e)) {
 			grew = true
 		}
 	}
@@ -417,13 +415,9 @@ func (s *solver) addFlow(a, b int32) {
 	if a == b {
 		return
 	}
-	if s.succ[a] == nil {
-		s.succ[a] = map[int32]struct{}{}
-	}
-	if _, ok := s.succ[a][b]; ok {
+	if !s.succ[a].Add(b) {
 		return
 	}
-	s.succ[a][b] = struct{}{}
 	s.m.EdgesAdded++
 	if s.union(b, s.classesOf(a)) {
 		s.enqueue(b)
@@ -457,15 +451,7 @@ func (r *Result) PointsTo(sym prim.SymID) []prim.SymID {
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	w := 0
-	for i, v := range out {
-		if i == 0 || v != out[w-1] {
-			out[w] = v
-			w++
-		}
-	}
-	return out[:w]
+	return set.SortDedup(out)
 }
 
 // Metrics implements pts.Result.

@@ -1,0 +1,100 @@
+package set
+
+import (
+	"testing"
+
+	"cla/internal/prim"
+)
+
+// The hot set operations must stay allocation-free once the layer's
+// buffers are warm: lookups, iteration, and a full union-seal cycle
+// into an arena whose slabs (and the interning table's buckets) were
+// grown by an earlier pass. These guards are why the solvers can call
+// the layer millions of times per pass without feeding the GC — the
+// same discipline the nil-observer guards in internal/obs establish.
+
+func warmSets(a *Arena, tb *Table) (dense, sparse *Set) {
+	var b Builder
+	for i := uint32(0); i < 200; i++ {
+		b.Add(1000 + i)
+	}
+	dense = b.Seal(a, tb)
+	b.Reset()
+	for i := uint32(0); i < 50; i++ {
+		b.Add(i * 997)
+	}
+	sparse = b.Seal(a, tb)
+	return dense, sparse
+}
+
+func TestLookupAllocsFree(t *testing.T) {
+	a := NewArena()
+	tb := NewTable()
+	dense, sparse := warmSets(a, tb)
+	var sp Sparse
+	for i := int32(0); i < 100; i++ {
+		sp.Add(i * 3)
+	}
+	n := testing.AllocsPerRun(200, func() {
+		if !dense.Has(1100) || dense.Has(13) {
+			t.Fatal("dense membership wrong")
+		}
+		if !sparse.Has(997) || sparse.Has(998) {
+			t.Fatal("sparse membership wrong")
+		}
+		if !sp.Has(30) || sp.Has(31) {
+			t.Fatal("Sparse membership wrong")
+		}
+	})
+	if n != 0 {
+		t.Errorf("lookup allocated %.1f per run, want 0", n)
+	}
+}
+
+func TestIterationAllocsFree(t *testing.T) {
+	a := NewArena()
+	tb := NewTable()
+	dense, sparse := warmSets(a, tb)
+	var sp Sparse
+	for i := int32(0); i < 100; i++ {
+		sp.Add(i)
+	}
+	sink := 0
+	buf := make([]prim.SymID, 0, 256)
+	ibuf := make([]int32, 0, 128)
+	n := testing.AllocsPerRun(100, func() {
+		dense.ForEach(func(x uint32) { sink += int(x) })
+		sparse.ForEach(func(x uint32) { sink += int(x) })
+		buf = dense.AppendSyms(buf[:0])
+		ibuf = sp.AppendTo(ibuf[:0])
+	})
+	if n != 0 {
+		t.Errorf("iteration allocated %.1f per run, want 0", n)
+	}
+	_ = sink
+}
+
+func TestUnionIntoArenaAllocsFree(t *testing.T) {
+	a := NewArena()
+	tb := NewTable()
+	dense, sparse := warmSets(a, tb)
+	var b Builder
+	// Warm the builder's merge scratch and the table entry for the
+	// union, then assert the steady-state cycle allocates nothing: the
+	// union is re-sealed to the interned set, no arena growth needed.
+	union := func() *Set {
+		b.Reset()
+		b.MergeSet(dense)
+		b.MergeSet(sparse)
+		return b.Seal(a, tb)
+	}
+	want := union()
+	n := testing.AllocsPerRun(200, func() {
+		if union() != want {
+			t.Fatal("union not interned to the same set")
+		}
+	})
+	if n != 0 {
+		t.Errorf("union-into-arena allocated %.1f per run, want 0", n)
+	}
+}

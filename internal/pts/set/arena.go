@@ -1,0 +1,173 @@
+package set
+
+// Arena is a slab allocator for the element storage of sealed sets and
+// for the Set headers themselves. Allocation is bump-pointer within
+// fixed-size slabs; Reset rewinds to the beginning while keeping every
+// slab, so a solver that seals one generation of sets per pass pays for
+// slab growth only up to the high-water mark of its largest pass.
+//
+// Memory handed out by an arena is only valid until the next Reset —
+// callers (the pre-transitive solver) guarantee no set outlives the pass
+// that sealed it.
+type Arena struct {
+	slabs32 [][]uint32
+	i32     int // current slab index
+	off32   int // offset into slabs32[i32]
+
+	slabs64 [][]uint64
+	i64     int
+	off64   int
+
+	hdrs  []*[]Set // header slabs (pointer to keep Set addresses stable)
+	ih    int
+	offh  int
+	bytes int64 // total bytes requested from the Go heap
+}
+
+const (
+	slabWords32 = 16 << 10 // 64 KiB of uint32 per slab
+	slabWords64 = 8 << 10  // 64 KiB of uint64 per slab
+	slabHdrs    = 1 << 10  // Set headers per slab
+)
+
+// NewArena returns an empty arena.
+func NewArena() *Arena { return &Arena{} }
+
+// Alloc32 returns a zeroed-length uint32 slice of length n backed by the
+// arena. Requests larger than a slab get a dedicated slab.
+func (a *Arena) Alloc32(n int) []uint32 {
+	if n == 0 {
+		return nil
+	}
+	if n > slabWords32 {
+		s := make([]uint32, n)
+		a.bytes += int64(n) * 4
+		// Dedicated slab, spliced before the current one so the bump
+		// pointer keeps operating on the current slab.
+		a.slabs32 = append(a.slabs32, nil)
+		copy(a.slabs32[a.i32+1:], a.slabs32[a.i32:])
+		a.slabs32[a.i32] = s
+		a.i32++
+		return s
+	}
+	if a.i32 >= len(a.slabs32) || a.off32+n > len(a.slabs32[a.i32]) {
+		a.advance32()
+	}
+	s := a.slabs32[a.i32][a.off32 : a.off32+n : a.off32+n]
+	a.off32 += n
+	return s
+}
+
+func (a *Arena) advance32() {
+	if a.i32 < len(a.slabs32) && a.off32 > 0 {
+		a.i32++
+	}
+	for a.i32 < len(a.slabs32) && len(a.slabs32[a.i32]) < slabWords32 {
+		a.i32++ // skip dedicated oversize slabs from earlier generations
+	}
+	if a.i32 >= len(a.slabs32) {
+		a.slabs32 = append(a.slabs32, make([]uint32, slabWords32))
+		a.bytes += slabWords32 * 4
+		a.i32 = len(a.slabs32) - 1
+	}
+	a.off32 = 0
+}
+
+// Alloc64 returns a uint64 slice of length n backed by the arena. The
+// returned words are zeroed (slabs are zeroed on allocation and wiped on
+// Reset before reuse).
+func (a *Arena) Alloc64(n int) []uint64 {
+	if n == 0 {
+		return nil
+	}
+	if n > slabWords64 {
+		s := make([]uint64, n)
+		a.bytes += int64(n) * 8
+		a.slabs64 = append(a.slabs64, nil)
+		copy(a.slabs64[a.i64+1:], a.slabs64[a.i64:])
+		a.slabs64[a.i64] = s
+		a.i64++
+		return s
+	}
+	if a.i64 >= len(a.slabs64) || a.off64+n > len(a.slabs64[a.i64]) {
+		a.advance64()
+	}
+	s := a.slabs64[a.i64][a.off64 : a.off64+n : a.off64+n]
+	a.off64 += n
+	return s
+}
+
+func (a *Arena) advance64() {
+	if a.i64 < len(a.slabs64) && a.off64 > 0 {
+		a.i64++
+	}
+	for a.i64 < len(a.slabs64) && len(a.slabs64[a.i64]) < slabWords64 {
+		a.i64++
+	}
+	if a.i64 >= len(a.slabs64) {
+		a.slabs64 = append(a.slabs64, make([]uint64, slabWords64))
+		a.bytes += slabWords64 * 8
+		a.i64 = len(a.slabs64) - 1
+	}
+	a.off64 = 0
+}
+
+// allocHdr returns a fresh Set header from the header slabs.
+func (a *Arena) allocHdr() *Set {
+	if a.ih >= len(a.hdrs) || a.offh >= len(*a.hdrs[a.ih]) {
+		if a.ih < len(a.hdrs) && a.offh > 0 {
+			a.ih++
+		}
+		if a.ih >= len(a.hdrs) {
+			s := make([]Set, slabHdrs)
+			a.hdrs = append(a.hdrs, &s)
+			a.bytes += int64(slabHdrs) * int64(setHdrBytes)
+			a.ih = len(a.hdrs) - 1
+		}
+		a.offh = 0
+	}
+	h := &(*a.hdrs[a.ih])[a.offh]
+	a.offh++
+	return h
+}
+
+// Reset rewinds the arena, keeping its slabs for reuse. Previously
+// returned memory becomes invalid. Oversize dedicated slabs are dropped
+// (they were sized for one particular set); regular slabs are wiped so
+// Alloc64 callers see zeroed words again.
+func (a *Arena) Reset() {
+	w := 0
+	for _, s := range a.slabs32 {
+		if len(s) == slabWords32 {
+			a.slabs32[w] = s
+			w++
+		} else {
+			a.bytes -= int64(len(s)) * 4
+		}
+	}
+	a.slabs32 = a.slabs32[:w]
+	w = 0
+	for _, s := range a.slabs64 {
+		if len(s) == slabWords64 {
+			clear(s)
+			a.slabs64[w] = s
+			w++
+		} else {
+			a.bytes -= int64(len(s)) * 8
+		}
+	}
+	a.slabs64 = a.slabs64[:w]
+	for _, h := range a.hdrs {
+		clear(*h)
+	}
+	a.i32, a.off32, a.i64, a.off64, a.ih, a.offh = 0, 0, 0, 0, 0, 0
+}
+
+// Bytes reports the total heap bytes currently held by the arena's
+// slabs — the live-memory cost of the set layer.
+func (a *Arena) Bytes() int64 {
+	if a == nil {
+		return 0
+	}
+	return a.bytes
+}

@@ -1,0 +1,90 @@
+package set
+
+import (
+	"testing"
+
+	"cla/internal/prim"
+)
+
+// Benchmarks for the hot paths the solvers lean on. Run via
+// `make bench-smoke` (one iteration) in CI to keep them compiling and
+// non-panicking; locally `go test -bench=. -benchmem ./internal/pts/set`
+// gives the real numbers.
+
+func benchSets(b *testing.B) (*Arena, *Table, []*Set) {
+	a := NewArena()
+	tb := NewTable()
+	var bld Builder
+	var sets []*Set
+	for k := 0; k < 64; k++ {
+		bld.Reset()
+		n := 1 << uint(k%9) // 1..256 elements
+		for i := 0; i < n; i++ {
+			bld.Add(uint32(k*37 + i*(1+k%5)))
+		}
+		sets = append(sets, bld.Seal(a, tb))
+	}
+	return a, tb, sets
+}
+
+func BenchmarkSealInterned(b *testing.B) {
+	a, tb, _ := benchSets(b)
+	var bld Builder
+	for i := 0; i < 100; i++ {
+		bld.Add(uint32(i * 3))
+	}
+	bld.Seal(a, tb)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bld.Seal(a, tb)
+	}
+}
+
+func BenchmarkBuilderUnion(b *testing.B) {
+	a, tb, sets := benchSets(b)
+	_ = a
+	_ = tb
+	var bld Builder
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bld.Reset()
+		for _, s := range sets {
+			bld.MergeSet(s)
+		}
+	}
+}
+
+func BenchmarkSetIterate(b *testing.B) {
+	_, _, sets := benchSets(b)
+	buf := make([]prim.SymID, 0, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, s := range sets {
+			buf = s.AppendSyms(buf[:0])
+		}
+	}
+}
+
+func BenchmarkSparseAdd(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var sp Sparse
+		for j := int32(0); j < 256; j++ {
+			sp.Add(j * 7 % 509)
+		}
+	}
+}
+
+func BenchmarkSparseAddMap(b *testing.B) {
+	// The representation Sparse replaced, for comparison.
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := make(map[int32]struct{})
+		for j := int32(0); j < 256; j++ {
+			m[j*7%509] = struct{}{}
+		}
+	}
+}

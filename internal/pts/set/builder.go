@@ -1,0 +1,195 @@
+package set
+
+import "cla/internal/prim"
+
+// Builder accumulates a sorted union and seals it into a Set. All merge
+// scratch is owned by the Builder and reused across Reset cycles, so a
+// solver that performs millions of unions allocates only when a union
+// result outgrows every previous one.
+//
+// A Builder is not safe for concurrent use; parallel stages use one
+// Builder per worker.
+type Builder struct {
+	buf []uint32 // current accumulation, sorted
+	tmp []uint32 // merge target, swapped with buf
+	dec []uint32 // bits-tier decode scratch
+}
+
+// Reset empties the builder, keeping its scratch.
+func (b *Builder) Reset() { b.buf = b.buf[:0] }
+
+// Len returns the current element count.
+func (b *Builder) Len() int { return len(b.buf) }
+
+// Add inserts one element, keeping the accumulation sorted.
+func (b *Builder) Add(x uint32) {
+	n := len(b.buf)
+	if n == 0 || x > b.buf[n-1] {
+		b.buf = append(b.buf, x)
+		return
+	}
+	lo, hi := 0, n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if b.buf[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if b.buf[lo] == x {
+		return
+	}
+	b.buf = append(b.buf, 0)
+	copy(b.buf[lo+1:], b.buf[lo:])
+	b.buf[lo] = x
+}
+
+// AddSym inserts one SymID.
+func (b *Builder) AddSym(x prim.SymID) { b.Add(uint32(x)) }
+
+// MergeU32 unions the sorted slice xs (duplicates allowed) into the
+// accumulation.
+func (b *Builder) MergeU32(xs []uint32) {
+	if len(xs) == 0 {
+		return
+	}
+	if len(b.buf) == 0 || xs[0] > b.buf[len(b.buf)-1] {
+		b.buf = appendDedup(b.buf, xs)
+		return
+	}
+	out := b.tmp[:0]
+	a := b.buf
+	i, j := 0, 0
+	for i < len(a) && j < len(xs) {
+		switch {
+		case a[i] < xs[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > xs[j]:
+			if len(out) == 0 || out[len(out)-1] != xs[j] {
+				out = append(out, xs[j])
+			}
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = appendDedup(out, xs[j:])
+	b.tmp = a[:0]
+	b.buf = out
+}
+
+// appendDedup appends the sorted slice xs, skipping elements equal to
+// the running last (the accumulation itself is always duplicate-free).
+func appendDedup(out, xs []uint32) []uint32 {
+	for _, x := range xs {
+		if len(out) == 0 || out[len(out)-1] != x {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// MergeSyms unions a sorted SymID slice into the accumulation.
+func (b *Builder) MergeSyms(xs []prim.SymID) {
+	if len(xs) == 0 {
+		return
+	}
+	b.dec = b.dec[:0]
+	for _, x := range xs {
+		b.dec = append(b.dec, uint32(x))
+	}
+	b.MergeU32(b.dec)
+}
+
+// MergeSet unions a sealed set into the accumulation.
+func (b *Builder) MergeSet(s *Set) {
+	if s == nil {
+		return
+	}
+	switch s.tier {
+	case tierInline:
+		b.MergeU32(s.inl[:s.n])
+	case tierArray:
+		b.MergeU32(s.arr)
+	default:
+		b.dec = s.appendU32(b.dec[:0])
+		b.MergeU32(b.dec)
+	}
+}
+
+// Syms returns the accumulation as a fresh exact-size SymID slice (nil
+// when empty). Used where a caller needs a heap-owned sorted slice (the
+// core snapshot) rather than an arena-backed Set.
+func (b *Builder) Syms() []prim.SymID {
+	if len(b.buf) == 0 {
+		return nil
+	}
+	out := make([]prim.SymID, len(b.buf))
+	for i, x := range b.buf {
+		out[i] = prim.SymID(x)
+	}
+	return out
+}
+
+// Seal materializes the accumulation as an immutable Set. With a
+// non-nil Table, an existing structurally-equal Set is returned instead
+// of storing a second copy (hash-consing); otherwise storage comes from
+// the arena (or the Go heap when a is nil). Empty accumulations seal to
+// nil. The builder remains usable (and unchanged) after Seal.
+func (b *Builder) Seal(a *Arena, t *Table) *Set {
+	n := len(b.buf)
+	if n == 0 {
+		return nil
+	}
+	h := hashU32(b.buf)
+	if t != nil {
+		if s := t.lookup(h, b.buf); s != nil {
+			return s
+		}
+	}
+	var s *Set
+	if a != nil {
+		s = a.allocHdr()
+	} else {
+		s = new(Set)
+	}
+	s.hash = h
+	s.n = int32(n)
+	switch sw := spanWords(b.buf[0], b.buf[n-1]); {
+	case n <= InlineCap:
+		s.tier = tierInline
+		copy(s.inl[:], b.buf)
+	case bitsBeatsArray(n, sw):
+		s.tier = tierBits
+		s.base = b.buf[0] >> 6
+		var words []uint64
+		if a != nil {
+			words = a.Alloc64(sw) // zeroed by the arena
+		} else {
+			words = make([]uint64, sw)
+		}
+		for _, x := range b.buf {
+			words[(x>>6)-s.base] |= 1 << (x & 63)
+		}
+		s.words = words
+	default:
+		s.tier = tierArray
+		var arr []uint32
+		if a != nil {
+			arr = a.Alloc32(n)
+		} else {
+			arr = make([]uint32, n)
+		}
+		copy(arr, b.buf)
+		s.arr = arr
+	}
+	if t != nil {
+		t.insert(s)
+	}
+	return s
+}

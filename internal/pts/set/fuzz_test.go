@@ -1,0 +1,125 @@
+package set
+
+import (
+	"sort"
+	"testing"
+)
+
+// FuzzSetOps differentially tests the adaptive set machinery against a
+// map oracle. The fuzz input is a little op program: each byte pair is
+// one operation (insert into the builder, insert into a Sparse, merge a
+// sealed snapshot back in, seal+verify), with values chosen so the
+// corpus crosses every tier boundary (inline→array→bits) and the
+// Sparse grow/demote paths.
+func FuzzSetOps(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 0, 2, 0, 3, 0, 4, 0, 5}) // walk past InlineCap
+	// Dense run that promotes to bits, then a far value.
+	dense := []byte{}
+	for i := 0; i < 40; i++ {
+		dense = append(dense, 1, byte(i))
+	}
+	dense = append(dense, 2, 255, 3, 0)
+	f.Add(dense)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a := NewArena()
+		tb := NewTable()
+		var b Builder
+		var sp Sparse
+		bOracle := map[uint32]bool{}
+		spOracle := map[int32]bool{}
+		var sealed *Set
+		var sealedOracle []uint32
+
+		checkSet := func(s *Set, want map[uint32]bool) {
+			if s.Len() != len(want) {
+				t.Fatalf("Set.Len = %d, oracle %d", s.Len(), len(want))
+			}
+			var got []uint32
+			s.ForEach(func(x uint32) { got = append(got, x) })
+			if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+				t.Fatalf("iteration not ascending: %v", got)
+			}
+			for _, x := range got {
+				if !want[x] {
+					t.Fatalf("set has %d, oracle does not", x)
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("iterated %d elements, oracle %d", len(got), len(want))
+			}
+			for x := range want {
+				if !s.Has(x) {
+					t.Fatalf("Has(%d) = false, oracle true", x)
+				}
+			}
+		}
+
+		for len(data) >= 2 {
+			op, v := data[0], data[1]
+			data = data[2:]
+			switch op % 6 {
+			case 0: // builder insert, small values (inline boundary)
+				x := uint32(v % 12)
+				b.Add(x)
+				bOracle[x] = true
+			case 1: // builder insert, dense window (bits tier)
+				x := uint32(v)
+				b.Add(x)
+				bOracle[x] = true
+			case 2: // builder insert, scattered (array tier / bits demotion)
+				x := uint32(v) * 977
+				b.Add(x)
+				bOracle[x] = true
+			case 3: // seal + verify + remember snapshot
+				s := b.Seal(a, tb)
+				checkSet(s, bOracle)
+				sealed = s
+				sealedOracle = sealedOracle[:0]
+				for x := range bOracle {
+					sealedOracle = append(sealedOracle, x)
+				}
+				if v%4 == 0 { // occasionally start a fresh accumulation
+					b.Reset()
+					clear(bOracle)
+				}
+			case 4: // merge the sealed snapshot back into the builder
+				b.MergeSet(sealed)
+				for _, x := range sealedOracle {
+					bOracle[x] = true
+				}
+			case 5: // Sparse insert across the promote/demote boundary
+				x := int32(v) * int32(1+v%3)
+				added := sp.Add(x)
+				if added == spOracle[x] {
+					t.Fatalf("Sparse.Add(%d) = %v, oracle had=%v", x, added, spOracle[x])
+				}
+				spOracle[x] = true
+				if sp.Len() != len(spOracle) {
+					t.Fatalf("Sparse.Len = %d, oracle %d", sp.Len(), len(spOracle))
+				}
+			}
+		}
+
+		// Final verification of both structures.
+		s := b.Seal(a, tb)
+		checkSet(s, bOracle)
+		var got []int32
+		sp.ForEach(func(x int32) { got = append(got, x) })
+		if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+			t.Fatalf("sparse iteration not ascending: %v", got)
+		}
+		if len(got) != len(spOracle) {
+			t.Fatalf("sparse iterated %d, oracle %d", len(got), len(spOracle))
+		}
+		for _, x := range got {
+			if !spOracle[x] {
+				t.Fatalf("sparse has %d, oracle does not", x)
+			}
+			if !sp.Has(x) {
+				t.Fatalf("sparse Has(%d) = false after iteration said yes", x)
+			}
+		}
+	})
+}

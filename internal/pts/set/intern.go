@@ -1,0 +1,54 @@
+package set
+
+// Table hash-conses sealed sets: structurally identical sets sealed
+// through the same table share one *Set per Reset generation (the
+// paper's observation that "many lval sets are identical"). Reset
+// clears entries but keeps the map's grown buckets — it runs once per
+// fixpoint pass on the hot path.
+type Table struct {
+	m map[uint64][]*Set
+
+	// Hits and Misses count Seal outcomes since construction (not reset
+	// by Reset): a hit returned an existing set, a miss stored a new one.
+	Hits, Misses int64
+}
+
+// NewTable returns an empty interning table.
+func NewTable() *Table { return &Table{m: map[uint64][]*Set{}} }
+
+// lookup returns the stored set equal to the sorted elements xs, if any.
+func (t *Table) lookup(h uint64, xs []uint32) *Set {
+	for _, cand := range t.m[h] {
+		if cand.equalElems(xs) {
+			t.Hits++
+			return cand
+		}
+	}
+	return nil
+}
+
+// insert stores a freshly sealed set.
+func (t *Table) insert(s *Set) {
+	t.Misses++
+	t.m[s.hash] = append(t.m[s.hash], s)
+}
+
+// Len returns the number of distinct sets currently stored.
+func (t *Table) Len() int {
+	n := 0
+	for _, c := range t.m {
+		n += len(c)
+	}
+	return n
+}
+
+// Reset drops all entries, keeping bucket capacity. Stored sets become
+// unreachable from the table; arena-backed sets are typically
+// invalidated by the accompanying Arena.Reset.
+func (t *Table) Reset() {
+	if t.m == nil {
+		t.m = map[uint64][]*Set{}
+		return
+	}
+	clear(t.m)
+}

@@ -1,0 +1,225 @@
+// Package set provides the shared points-to/lval set machinery used by
+// every solver: immutable hash-consed sets with three adaptive storage
+// tiers (inline, sorted array, sparse bitset), a merge Builder that
+// reuses its scratch across unions, a slab Arena whose per-pass Reset
+// makes set storage O(high-water) instead of O(total-churn), and a
+// mutable Sparse set that replaces map[int32]struct{} successor sets.
+//
+// The paper's "million lines in a second" budget is as much about set
+// representation as about the pre-transitive algorithm: most lval sets
+// are tiny (inline tier), many are identical (hash-consing), and the
+// few large ones are dense enough for bitsets. The tier of a sealed Set
+// is a pure function of its contents, so solvers produce identical
+// representations at any worker count.
+package set
+
+import (
+	"math/bits"
+	"sort"
+	"unsafe"
+
+	"cla/internal/prim"
+)
+
+// InlineCap is the maximum element count of the inline tier: elements
+// live in the Set header itself, with no pointer to chase.
+const InlineCap = 4
+
+const (
+	tierInline uint8 = iota
+	tierArray
+	tierBits
+)
+
+// Set is an immutable sorted set of uint32 element ids (SymIDs are
+// non-negative, so the cast is lossless). A nil *Set is the empty set
+// and every method is nil-safe. Sets are sealed by a Builder and, when
+// arena-backed, are valid only until the arena's next Reset.
+type Set struct {
+	hash uint64
+	n    int32
+	tier uint8
+	base uint32 // bits tier: word index of words[0] (element >> 6)
+
+	inl   [InlineCap]uint32 // inline tier
+	arr   []uint32          // array tier: sorted elements
+	words []uint64          // bits tier
+}
+
+var setHdrBytes = int(unsafe.Sizeof(Set{}))
+
+// Len returns the element count.
+func (s *Set) Len() int {
+	if s == nil {
+		return 0
+	}
+	return int(s.n)
+}
+
+// Hash returns the FNV-1a hash of the elements (0 for the empty set).
+func (s *Set) Hash() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.hash
+}
+
+// Has reports membership.
+func (s *Set) Has(x uint32) bool {
+	if s == nil {
+		return false
+	}
+	switch s.tier {
+	case tierInline:
+		for i := int32(0); i < s.n; i++ {
+			if s.inl[i] == x {
+				return true
+			}
+		}
+		return false
+	case tierArray:
+		i := sort.Search(len(s.arr), func(i int) bool { return s.arr[i] >= x })
+		return i < len(s.arr) && s.arr[i] == x
+	default:
+		w := int(x>>6) - int(s.base)
+		return w >= 0 && w < len(s.words) && s.words[w]&(1<<(x&63)) != 0
+	}
+}
+
+// ForEach calls f for every element in ascending order.
+func (s *Set) ForEach(f func(uint32)) {
+	if s == nil {
+		return
+	}
+	switch s.tier {
+	case tierInline:
+		for i := int32(0); i < s.n; i++ {
+			f(s.inl[i])
+		}
+	case tierArray:
+		for _, x := range s.arr {
+			f(x)
+		}
+	default:
+		for wi, w := range s.words {
+			off := (s.base + uint32(wi)) << 6
+			for w != 0 {
+				f(off + uint32(bits.TrailingZeros64(w)))
+				w &= w - 1
+			}
+		}
+	}
+}
+
+// AppendSyms appends the elements, ascending, as SymIDs.
+func (s *Set) AppendSyms(dst []prim.SymID) []prim.SymID {
+	if s == nil {
+		return dst
+	}
+	switch s.tier {
+	case tierInline:
+		for i := int32(0); i < s.n; i++ {
+			dst = append(dst, prim.SymID(s.inl[i]))
+		}
+	case tierArray:
+		for _, x := range s.arr {
+			dst = append(dst, prim.SymID(x))
+		}
+	default:
+		for wi, w := range s.words {
+			off := (s.base + uint32(wi)) << 6
+			for w != 0 {
+				dst = append(dst, prim.SymID(off+uint32(bits.TrailingZeros64(w))))
+				w &= w - 1
+			}
+		}
+	}
+	return dst
+}
+
+// appendU32 appends the elements, ascending, as uint32s.
+func (s *Set) appendU32(dst []uint32) []uint32 {
+	if s == nil {
+		return dst
+	}
+	switch s.tier {
+	case tierInline:
+		return append(dst, s.inl[:s.n]...)
+	case tierArray:
+		return append(dst, s.arr...)
+	default:
+		for wi, w := range s.words {
+			off := (s.base + uint32(wi)) << 6
+			for w != 0 {
+				dst = append(dst, off+uint32(bits.TrailingZeros64(w)))
+				w &= w - 1
+			}
+		}
+		return dst
+	}
+}
+
+// equalElems reports whether s holds exactly the sorted elements in xs.
+func (s *Set) equalElems(xs []uint32) bool {
+	if s.Len() != len(xs) {
+		return false
+	}
+	switch s.tier {
+	case tierInline:
+		for i, x := range xs {
+			if s.inl[i] != x {
+				return false
+			}
+		}
+	case tierArray:
+		for i, x := range xs {
+			if s.arr[i] != x {
+				return false
+			}
+		}
+	default:
+		for _, x := range xs {
+			if s.words[(x>>6)-s.base]&(1<<(x&63)) == 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// hashU32 is FNV-1a over the elements — the same function the solvers
+// used for per-pass interning before the shared layer existed, so
+// digests stay comparable across revisions.
+func hashU32(xs []uint32) uint64 {
+	key := uint64(1469598103934665603)
+	for _, x := range xs {
+		key = (key ^ uint64(x)) * 1099511628211
+	}
+	return key
+}
+
+// spanWords returns the number of 64-bit words covering [lo, hi].
+func spanWords(lo, hi uint32) int {
+	return int(hi>>6) - int(lo>>6) + 1
+}
+
+// bitsBeatsArray decides the bits-vs-array tier for n sorted elements
+// spanning sw words: the bitset wins when its storage (8 bytes/word) is
+// no larger than the array's (4 bytes/element). Pure function of
+// content, so representation is deterministic.
+func bitsBeatsArray(n, sw int) bool { return 2*sw <= n }
+
+// SortDedup sorts ids in place and removes duplicates, returning the
+// shortened slice — the finalize step steens/onelevel previously each
+// hand-rolled.
+func SortDedup(ids []prim.SymID) []prim.SymID {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	w := 0
+	for i, v := range ids {
+		if i == 0 || v != ids[w-1] {
+			ids[w] = v
+			w++
+		}
+	}
+	return ids[:w]
+}

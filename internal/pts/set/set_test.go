@@ -1,0 +1,345 @@
+package set
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"cla/internal/prim"
+)
+
+// seal builds a Set from xs (any order, dups allowed) on the given
+// arena/table.
+func seal(t *testing.T, a *Arena, tb *Table, xs []uint32) *Set {
+	t.Helper()
+	var b Builder
+	for _, x := range xs {
+		b.Add(x)
+	}
+	return b.Seal(a, tb)
+}
+
+func elems(s *Set) []uint32 {
+	var out []uint32
+	s.ForEach(func(x uint32) { out = append(out, x) })
+	return out
+}
+
+func sortedUnique(xs []uint32) []uint32 {
+	m := map[uint32]bool{}
+	for _, x := range xs {
+		m[x] = true
+	}
+	out := make([]uint32, 0, len(m))
+	for x := range m {
+		out = append(out, x)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func TestSetTiers(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []uint32
+		tier uint8
+	}{
+		{"empty", nil, 0},
+		{"inline", []uint32{9, 3, 7}, tierInline},
+		{"inline-full", []uint32{4, 3, 2, 1}, tierInline},
+		{"array-sparse", []uint32{0, 1000, 2000, 3000, 4000}, tierArray},
+		{"bits-dense", []uint32{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, tierBits},
+		{"bits-offset", []uint32{1000, 1001, 1002, 1003, 1004, 1005, 1006, 1007, 1008, 1009}, tierBits},
+	}
+	a := NewArena()
+	tb := NewTable()
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := seal(t, a, tb, tc.xs)
+			want := sortedUnique(tc.xs)
+			if len(want) == 0 {
+				if s != nil {
+					t.Fatalf("empty seal = %v, want nil", s)
+				}
+				return
+			}
+			if s.tier != tc.tier {
+				t.Errorf("tier = %d, want %d", s.tier, tc.tier)
+			}
+			if got := elems(s); !reflect.DeepEqual(got, want) {
+				t.Errorf("elems = %v, want %v", got, want)
+			}
+			if s.Len() != len(want) {
+				t.Errorf("Len = %d, want %d", s.Len(), len(want))
+			}
+			for _, x := range want {
+				if !s.Has(x) {
+					t.Errorf("Has(%d) = false", x)
+				}
+			}
+			for _, x := range []uint32{11, 999, 5000, 1 << 30} {
+				in := false
+				for _, w := range want {
+					in = in || w == x
+				}
+				if s.Has(x) != in {
+					t.Errorf("Has(%d) = %v, want %v", x, s.Has(x), in)
+				}
+			}
+		})
+	}
+}
+
+func TestNilSetSafe(t *testing.T) {
+	var s *Set
+	if s.Len() != 0 || s.Has(0) || s.Hash() != 0 {
+		t.Error("nil set not empty")
+	}
+	s.ForEach(func(uint32) { t.Error("nil set iterated") })
+	if got := s.AppendSyms(nil); got != nil {
+		t.Errorf("nil AppendSyms = %v", got)
+	}
+}
+
+func TestHashConsing(t *testing.T) {
+	a := NewArena()
+	tb := NewTable()
+	s1 := seal(t, a, tb, []uint32{1, 5, 9, 100, 200, 300})
+	s2 := seal(t, a, tb, []uint32{300, 200, 100, 9, 5, 1})
+	if s1 != s2 {
+		t.Error("identical sets not shared")
+	}
+	s3 := seal(t, a, tb, []uint32{1, 5, 9, 100, 200, 301})
+	if s1 == s3 {
+		t.Error("distinct sets shared")
+	}
+	if tb.Hits == 0 || tb.Misses == 0 {
+		t.Errorf("hits=%d misses=%d, want both > 0", tb.Hits, tb.Misses)
+	}
+	if tb.Len() != 2 {
+		t.Errorf("table len = %d, want 2", tb.Len())
+	}
+	tb.Reset()
+	if tb.Len() != 0 {
+		t.Errorf("table len after reset = %d", tb.Len())
+	}
+}
+
+func TestArenaResetReuse(t *testing.T) {
+	a := NewArena()
+	tb := NewTable()
+	var b Builder
+	mk := func(lo, n uint32) *Set {
+		b.Reset()
+		for i := uint32(0); i < n; i++ {
+			b.Add(lo + i*3)
+		}
+		return b.Seal(a, tb)
+	}
+	mk(0, 500)
+	mk(10000, 2000)
+	grown := a.Bytes()
+	if grown == 0 {
+		t.Fatal("arena did not grow")
+	}
+	for pass := 0; pass < 10; pass++ {
+		a.Reset()
+		tb.Reset()
+		s1 := mk(0, 500)
+		s2 := mk(10000, 2000)
+		if s1.Len() != 500 || s2.Len() != 2000 {
+			t.Fatalf("pass %d: lens %d/%d", pass, s1.Len(), s2.Len())
+		}
+		var prev uint32
+		first := true
+		s2.ForEach(func(x uint32) {
+			if !first && x <= prev {
+				t.Fatalf("pass %d: not ascending: %d after %d", pass, x, prev)
+			}
+			prev, first = x, false
+		})
+	}
+	if a.Bytes() > grown {
+		t.Errorf("arena grew across equal passes: %d > %d", a.Bytes(), grown)
+	}
+}
+
+func TestArenaOversize(t *testing.T) {
+	a := NewArena()
+	big := a.Alloc32(slabWords32 * 3)
+	if len(big) != slabWords32*3 {
+		t.Fatalf("oversize len = %d", len(big))
+	}
+	small := a.Alloc32(8)
+	small[0] = 42
+	big[0] = 7
+	if small[0] != 42 || big[0] != 7 {
+		t.Error("oversize and slab allocations overlap")
+	}
+	w := a.Alloc64(slabWords64 * 2)
+	for _, x := range w {
+		if x != 0 {
+			t.Fatal("oversize Alloc64 not zeroed")
+		}
+	}
+	a.Reset()
+	w2 := a.Alloc64(16)
+	for _, x := range w2 {
+		if x != 0 {
+			t.Fatal("Alloc64 after Reset not zeroed")
+		}
+	}
+}
+
+func TestBuilderMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := NewArena()
+	tb := NewTable()
+	for trial := 0; trial < 200; trial++ {
+		var b Builder
+		want := map[uint32]bool{}
+		for part := 0; part < 5; part++ {
+			var xs []uint32
+			for i := 0; i < rng.Intn(40); i++ {
+				x := uint32(rng.Intn(3000))
+				xs = append(xs, x)
+				want[x] = true
+			}
+			sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+			// Merge alternately as raw u32s, syms, or a sealed set.
+			switch part % 3 {
+			case 0:
+				// Dedup first: MergeU32 requires sorted (dups fine).
+				b.MergeU32(xs)
+			case 1:
+				syms := make([]prim.SymID, len(xs))
+				for i, x := range xs {
+					syms[i] = prim.SymID(x)
+				}
+				b.MergeSyms(syms)
+			default:
+				var b2 Builder
+				for _, x := range xs {
+					b2.Add(x)
+				}
+				b.MergeSet(b2.Seal(a, tb))
+			}
+		}
+		s := b.Seal(a, tb)
+		got := elems(s)
+		var wantS []uint32
+		for x := range want {
+			wantS = append(wantS, x)
+		}
+		sort.Slice(wantS, func(i, j int) bool { return wantS[i] < wantS[j] })
+		if !reflect.DeepEqual(got, wantS) {
+			t.Fatalf("trial %d: merge mismatch: got %v want %v", trial, got, wantS)
+		}
+		syms := b.Syms()
+		if len(syms) != len(wantS) {
+			t.Fatalf("trial %d: Syms len %d want %d", trial, len(syms), len(wantS))
+		}
+	}
+}
+
+func TestSparseTiers(t *testing.T) {
+	var p Sparse
+	// Inline.
+	for _, x := range []int32{5, 1, 9} {
+		if !p.Add(x) {
+			t.Fatalf("Add(%d) = false", x)
+		}
+	}
+	if p.Add(5) {
+		t.Error("duplicate Add(5) = true")
+	}
+	if p.tier != tierInline {
+		t.Errorf("tier = %d, want inline", p.tier)
+	}
+	// Force array: sparse far-apart values.
+	for i := int32(0); i < 20; i++ {
+		p.Add(1000 + i*10000)
+	}
+	if p.tier != tierArray {
+		t.Errorf("tier = %d, want array", p.tier)
+	}
+	// Dense cluster promotes to bits.
+	var q Sparse
+	for i := int32(0); i < 100; i++ {
+		q.Add(5000 + i)
+	}
+	if q.tier != tierBits {
+		t.Errorf("tier = %d, want bits", q.tier)
+	}
+	if !q.Has(5099) || q.Has(5100) {
+		t.Error("bits membership wrong")
+	}
+	// A distant insert breaks density: demotes back to array.
+	q.Add(1 << 29)
+	if q.tier != tierArray {
+		t.Errorf("tier after sparse insert = %d, want array", q.tier)
+	}
+	if q.Len() != 101 || !q.Has(1<<29) || !q.Has(5000) {
+		t.Error("demotion lost elements")
+	}
+}
+
+func TestSparseVsMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		var p Sparse
+		oracle := map[int32]bool{}
+		span := int32(1 << uint(4+rng.Intn(16)))
+		for op := 0; op < 500; op++ {
+			x := rng.Int31n(span)
+			if got, want := p.Add(x), !oracle[x]; got != want {
+				t.Fatalf("trial %d: Add(%d) = %v, want %v", trial, x, got, want)
+			}
+			oracle[x] = true
+			y := rng.Int31n(span)
+			if p.Has(y) != oracle[y] {
+				t.Fatalf("trial %d: Has(%d) = %v, want %v", trial, y, p.Has(y), oracle[y])
+			}
+		}
+		if p.Len() != len(oracle) {
+			t.Fatalf("trial %d: Len = %d, want %d", trial, p.Len(), len(oracle))
+		}
+		var got []int32
+		p.ForEach(func(x int32) { got = append(got, x) })
+		if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+			t.Fatalf("trial %d: iteration not ascending: %v", trial, got)
+		}
+		if len(got) != len(oracle) {
+			t.Fatalf("trial %d: iterated %d, want %d", trial, len(got), len(oracle))
+		}
+		if app := p.AppendTo(nil); !reflect.DeepEqual(app, got) {
+			t.Fatalf("trial %d: AppendTo disagrees with ForEach", trial)
+		}
+	}
+}
+
+func TestSortDedup(t *testing.T) {
+	got := SortDedup([]prim.SymID{5, 3, 5, 1, 3, 3, 9})
+	want := []prim.SymID{1, 3, 5, 9}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("SortDedup = %v, want %v", got, want)
+	}
+	if out := SortDedup(nil); len(out) != 0 {
+		t.Errorf("SortDedup(nil) = %v", out)
+	}
+}
+
+func TestSealWithoutArena(t *testing.T) {
+	var b Builder
+	for i := uint32(0); i < 300; i++ {
+		b.Add(i * 2)
+	}
+	s := b.Seal(nil, nil)
+	if s.Len() != 300 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if got := elems(s); got[0] != 0 || got[299] != 598 {
+		t.Fatalf("bad elems: %v...%v", got[0], got[299])
+	}
+}

@@ -1,0 +1,230 @@
+package set
+
+import (
+	"math/bits"
+	"sort"
+)
+
+// sparseInline is the inline capacity of a mutable Sparse set.
+const sparseInline = 8
+
+// bitsPromoteMin is the array size below which promotion to the bitset
+// tier is never attempted.
+const bitsPromoteMin = 16
+
+// Sparse is a mutable adaptive set of non-negative int32 ids — the
+// replacement for the map[int32]struct{} successor/points-to sets the
+// solvers used to burn ~48 bytes per entry on. It starts inline in the
+// struct (no heap allocation for the zero value), grows into a sorted
+// array, and promotes to a windowed bitset once 2*spanWords <= n (the
+// same storage-economics rule the sealed Set tier uses: 8-byte words
+// beat 4-byte elements at that density). If later inserts break the
+// density it demotes back to the array, so storage stays within 2x of
+// the optimum either way. Iteration is always ascending, which makes
+// solver worklist dynamics deterministic where map iteration was not.
+//
+// The zero value is an empty set ready for use. Not safe for concurrent
+// mutation.
+type Sparse struct {
+	n    int32
+	tier uint8
+	base int32 // bits tier: word index of words[0] (element >> 6)
+
+	inl   [sparseInline]int32
+	arr   []int32 // sorted
+	words []uint64
+}
+
+// Len returns the element count.
+func (p *Sparse) Len() int {
+	if p == nil {
+		return 0
+	}
+	return int(p.n)
+}
+
+// Has reports membership.
+func (p *Sparse) Has(x int32) bool {
+	if p == nil {
+		return false
+	}
+	switch p.tier {
+	case tierInline:
+		for i := int32(0); i < p.n; i++ {
+			if p.inl[i] == x {
+				return true
+			}
+		}
+		return false
+	case tierArray:
+		i := sort.Search(len(p.arr), func(i int) bool { return p.arr[i] >= x })
+		return i < len(p.arr) && p.arr[i] == x
+	default:
+		w := int(x>>6) - int(p.base)
+		return w >= 0 && w < len(p.words) && p.words[w]&(1<<(uint32(x)&63)) != 0
+	}
+}
+
+// Add inserts x, reporting whether it was absent.
+func (p *Sparse) Add(x int32) bool {
+	switch p.tier {
+	case tierInline:
+		// Sorted insert within the inline buffer.
+		i := int32(0)
+		for i < p.n && p.inl[i] < x {
+			i++
+		}
+		if i < p.n && p.inl[i] == x {
+			return false
+		}
+		if p.n < sparseInline {
+			copy(p.inl[i+1:p.n+1], p.inl[i:p.n])
+			p.inl[i] = x
+			p.n++
+			return true
+		}
+		// Spill to the array tier.
+		p.arr = append(p.arr[:0], p.inl[:sparseInline]...)
+		p.tier = tierArray
+		return p.addArray(x)
+	case tierArray:
+		return p.addArray(x)
+	default:
+		return p.addBits(x)
+	}
+}
+
+func (p *Sparse) addArray(x int32) bool {
+	i := sort.Search(len(p.arr), func(i int) bool { return p.arr[i] >= x })
+	if i < len(p.arr) && p.arr[i] == x {
+		return false
+	}
+	p.arr = append(p.arr, 0)
+	copy(p.arr[i+1:], p.arr[i:])
+	p.arr[i] = x
+	p.n++
+	n := len(p.arr)
+	if n >= bitsPromoteMin {
+		if sw := spanWords(uint32(p.arr[0]), uint32(p.arr[n-1])); bitsBeatsArray(n, sw) {
+			p.promoteBits(sw)
+		}
+	}
+	return true
+}
+
+func (p *Sparse) promoteBits(sw int) {
+	base := p.arr[0] >> 6
+	if cap(p.words) >= sw {
+		p.words = p.words[:sw]
+		clear(p.words)
+	} else {
+		p.words = make([]uint64, sw)
+	}
+	for _, x := range p.arr {
+		p.words[(x>>6)-base] |= 1 << (uint32(x) & 63)
+	}
+	p.base = base
+	p.arr = p.arr[:0]
+	p.tier = tierBits
+}
+
+func (p *Sparse) addBits(x int32) bool {
+	w := int(x>>6) - int(p.base)
+	if w >= 0 && w < len(p.words) {
+		m := uint64(1) << (uint32(x) & 63)
+		if p.words[w]&m != 0 {
+			return false
+		}
+		p.words[w] |= m
+		p.n++
+		return true
+	}
+	// Out of window: grow if the density rule still favors bits,
+	// otherwise demote to the array tier.
+	lo, hi := p.base, p.base+int32(len(p.words))-1
+	xw := x >> 6
+	if xw < lo {
+		lo = xw
+	} else {
+		hi = xw
+	}
+	need := int(hi - lo + 1)
+	if !bitsBeatsArray(int(p.n)+1, need) {
+		p.demoteArray()
+		return p.addArray(x)
+	}
+	grown := make([]uint64, need)
+	copy(grown[p.base-lo:], p.words)
+	p.words = grown
+	p.base = lo
+	p.words[xw-lo] |= 1 << (uint32(x) & 63)
+	p.n++
+	return true
+}
+
+func (p *Sparse) demoteArray() {
+	arr := p.arr[:0]
+	if cap(arr) < int(p.n) {
+		arr = make([]int32, 0, int(p.n)+1)
+	}
+	for wi, w := range p.words {
+		off := (int32(wi) + p.base) << 6
+		for w != 0 {
+			arr = append(arr, off+int32(bits.TrailingZeros64(w)))
+			w &= w - 1
+		}
+	}
+	p.arr = arr
+	p.words = p.words[:0]
+	p.tier = tierArray
+}
+
+// ForEach calls f for every element in ascending order. f must not
+// mutate the set.
+func (p *Sparse) ForEach(f func(int32)) {
+	if p == nil {
+		return
+	}
+	switch p.tier {
+	case tierInline:
+		for i := int32(0); i < p.n; i++ {
+			f(p.inl[i])
+		}
+	case tierArray:
+		for _, x := range p.arr {
+			f(x)
+		}
+	default:
+		for wi, w := range p.words {
+			off := (int32(wi) + p.base) << 6
+			for w != 0 {
+				f(off + int32(bits.TrailingZeros64(w)))
+				w &= w - 1
+			}
+		}
+	}
+}
+
+// AppendTo appends the elements, ascending. Solvers use this to take a
+// stable iteration snapshot into reusable scratch before mutating the
+// graph mid-iteration.
+func (p *Sparse) AppendTo(dst []int32) []int32 {
+	if p == nil {
+		return dst
+	}
+	switch p.tier {
+	case tierInline:
+		return append(dst, p.inl[:p.n]...)
+	case tierArray:
+		return append(dst, p.arr...)
+	default:
+		for wi, w := range p.words {
+			off := (int32(wi) + p.base) << 6
+			for w != 0 {
+				dst = append(dst, off+int32(bits.TrailingZeros64(w)))
+				w &= w - 1
+			}
+		}
+		return dst
+	}
+}

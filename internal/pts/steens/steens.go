@@ -6,10 +6,9 @@
 package steens
 
 import (
-	"sort"
-
 	"cla/internal/prim"
 	"cla/internal/pts"
+	"cla/internal/pts/set"
 )
 
 type solver struct {
@@ -277,16 +276,7 @@ func (r *Result) PointsTo(sym prim.SymID) []prim.SymID {
 			out = append(out, m)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	// Dedup.
-	w := 0
-	for i, v := range out {
-		if i == 0 || v != out[w-1] {
-			out[w] = v
-			w++
-		}
-	}
-	return out[:w]
+	return set.SortDedup(out)
 }
 
 // Metrics implements pts.Result.

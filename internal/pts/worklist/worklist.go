@@ -4,6 +4,16 @@
 // al.'s base algorithm): points-to sets are propagated along inclusion
 // edges until fixpoint, with complex assignments adding edges as sets
 // grow.
+//
+// Propagation is differential: each node carries, besides its full
+// points-to set, the delta accumulated since it was last popped off the
+// worklist. Complex rules, function-pointer linking and edge propagation
+// fire on the delta only — the elements every existing successor has
+// already seen are never re-walked. A freshly inserted edge catches its
+// target up with the source's full set at insertion time, which is what
+// makes delta-only firing sound. Successor sets are adaptive sparse sets
+// (inline → sorted array → windowed bitset) iterated in ascending order,
+// so the worklist dynamics are deterministic rather than map-ordered.
 package worklist
 
 import (
@@ -11,6 +21,7 @@ import (
 
 	"cla/internal/prim"
 	"cla/internal/pts"
+	"cla/internal/pts/set"
 )
 
 // Solve runs the baseline Andersen analysis over the full database (the
@@ -21,8 +32,11 @@ type solver struct {
 
 	// pt[v] is the points-to set of node v, as a sorted slice.
 	pt [][]prim.SymID
+	// delta[v] are the elements added to pt[v] since v was last popped;
+	// always a sorted subset of pt[v].
+	delta [][]prim.SymID
 	// succ[v] are inclusion edges v ⊆ w (flow from v to w).
-	succ []map[int32]struct{}
+	succ []set.Sparse
 	// loadsOf[p]: complex x = *p (x receives).
 	loadsOf map[int32][]int32
 	// storesOf[p]: complex *p = y (y flows to pointees of p).
@@ -33,6 +47,9 @@ type solver struct {
 
 	work []int32
 	inWk []bool
+
+	succBuf  []int32      // scratch for iterating succ[v] while mutating
+	freshBuf []prim.SymID // scratch for unionDiff's new-element pass
 
 	m pts.Metrics
 }
@@ -64,7 +81,8 @@ func Solve(src pts.Source) (*Result, error) {
 		recOfFunc: map[int32]*prim.FuncRecord{},
 	}
 	s.pt = make([][]prim.SymID, s.n)
-	s.succ = make([]map[int32]struct{}, s.n)
+	s.delta = make([][]prim.SymID, s.n)
+	s.succ = make([]set.Sparse, s.n)
 	s.inWk = make([]bool, s.n)
 
 	funcs := src.Funcs()
@@ -87,7 +105,9 @@ func Solve(src pts.Source) (*Result, error) {
 	for _, a := range statics {
 		s.addPt(int32(a.Dst), a.Src)
 	}
-	// Whole-program: load every block.
+	// Whole-program: load every block. All loadsOf/storesOf registrations
+	// happen here, before the fixpoint — a precondition for firing the
+	// complex rules on deltas only.
 	for i := 0; i < s.n; i++ {
 		block, err := src.Block(prim.SymID(i))
 		if err != nil {
@@ -122,25 +142,30 @@ func Solve(src pts.Source) (*Result, error) {
 		s.inWk[v] = false
 		s.m.Passes++
 
-		ptv := s.pt[v]
-		// Complex rules fire on the current set.
+		// Take the delta; additions made while processing v (a rule can
+		// route flow back into v) accumulate for the next pop.
+		dv := s.delta[v]
+		s.delta[v] = nil
+		// Complex rules fire on the delta only: elements that were in
+		// pt[v] at the previous pop have already been through them.
 		for _, x := range s.loadsOf[v] { // x = *v
-			for _, z := range ptv {
+			for _, z := range dv {
 				s.addEdge(int32(z), x)
 			}
 		}
 		for _, y := range s.storesOf[v] { // *v = y
-			for _, z := range ptv {
+			for _, z := range dv {
 				s.addEdge(y, int32(z))
 			}
 		}
-		// Function-pointer linking.
+		// Function-pointer linking: idempotent edge adds, so new
+		// functions in the delta are linked exactly once.
 		if int(v) < s.n && s.src.Sym(prim.SymID(v)).FuncPtr {
 			for _, r := range s.ptrRecs {
 				if int32(r.Func) != v {
 					continue
 				}
-				for _, z := range ptv {
+				for _, z := range dv {
 					g, ok := s.recOfFunc[int32(z)]
 					if !ok {
 						continue
@@ -158,9 +183,12 @@ func Solve(src pts.Source) (*Result, error) {
 				}
 			}
 		}
-		// Propagate along inclusion edges.
-		for w := range s.succ[v] {
-			if s.union(w, ptv) {
+		// Propagate the delta along inclusion edges: every existing
+		// successor already holds pt[v] \ dv (edges inserted later are
+		// caught up by addEdge itself).
+		s.succBuf = s.succ[v].AppendTo(s.succBuf[:0])
+		for _, w := range s.succBuf {
+			if s.unionDiff(w, dv) {
 				s.enqueue(w)
 			}
 		}
@@ -175,7 +203,8 @@ func Solve(src pts.Source) (*Result, error) {
 func (s *solver) extend() int32 {
 	id := int32(len(s.pt))
 	s.pt = append(s.pt, nil)
-	s.succ = append(s.succ, nil)
+	s.delta = append(s.delta, nil)
+	s.succ = append(s.succ, set.Sparse{})
 	s.inWk = append(s.inWk, false)
 	return id
 }
@@ -187,49 +216,71 @@ func (s *solver) enqueue(v int32) {
 	}
 }
 
-// addPt inserts one lval, enqueueing on growth.
+// addPt inserts one lval, recording it in the delta and enqueueing on
+// growth.
 func (s *solver) addPt(v int32, lval prim.SymID) {
-	set := s.pt[v]
-	i := sort.Search(len(set), func(i int) bool { return set[i] >= lval })
-	if i < len(set) && set[i] == lval {
+	pt := s.pt[v]
+	i := sort.Search(len(pt), func(i int) bool { return pt[i] >= lval })
+	if i < len(pt) && pt[i] == lval {
 		return
 	}
-	set = append(set, 0)
-	copy(set[i+1:], set[i:])
-	set[i] = lval
-	s.pt[v] = set
+	pt = append(pt, 0)
+	copy(pt[i+1:], pt[i:])
+	pt[i] = lval
+	s.pt[v] = pt
+
+	d := s.delta[v]
+	j := sort.Search(len(d), func(i int) bool { return d[i] >= lval })
+	d = append(d, 0)
+	copy(d[j+1:], d[j:])
+	d[j] = lval
+	s.delta[v] = d
 	s.enqueue(v)
 }
 
-// union merges src set into v's set; reports growth.
-func (s *solver) union(v int32, add []prim.SymID) bool {
+// unionDiff merges add into v's set, accumulating the genuinely new
+// elements into v's delta; reports growth.
+func (s *solver) unionDiff(v int32, add []prim.SymID) bool {
 	if len(add) == 0 {
 		return false
 	}
-	set := s.pt[v]
-	merged := mergeSorted(set, add)
-	if len(merged) == len(set) {
+	pt := s.pt[v]
+	fresh := s.freshBuf[:0]
+	i, j := 0, 0
+	for i < len(pt) && j < len(add) {
+		switch {
+		case pt[i] < add[j]:
+			i++
+		case pt[i] > add[j]:
+			fresh = append(fresh, add[j])
+			j++
+		default:
+			i++
+			j++
+		}
+	}
+	fresh = append(fresh, add[j:]...)
+	s.freshBuf = fresh
+	if len(fresh) == 0 {
 		return false
 	}
-	s.pt[v] = merged
+	// mergeSorted copies out of fresh, so the scratch can be reused.
+	s.pt[v] = mergeSorted(pt, fresh)
+	s.delta[v] = mergeSorted(s.delta[v], fresh)
 	return true
 }
 
-// addEdge inserts inclusion edge a → b (pt(a) ⊆ pt(b)) and propagates the
-// current set immediately.
+// addEdge inserts inclusion edge a → b (pt(a) ⊆ pt(b)) and catches b up
+// with a's full current set — after which b only ever needs a's deltas.
 func (s *solver) addEdge(a, b int32) {
 	if a == b {
 		return
 	}
-	if s.succ[a] == nil {
-		s.succ[a] = map[int32]struct{}{}
-	}
-	if _, ok := s.succ[a][b]; ok {
+	if !s.succ[a].Add(b) {
 		return
 	}
-	s.succ[a][b] = struct{}{}
 	s.m.EdgesAdded++
-	if s.union(b, s.pt[a]) {
+	if s.unionDiff(b, s.pt[a]) {
 		s.enqueue(b)
 	}
 }
