@@ -1,8 +1,10 @@
 package cla
 
 import (
-	"fmt"
+	"context"
+	"sync"
 
+	"cla/internal/claerr"
 	"cla/internal/core"
 	"cla/internal/depend"
 	"cla/internal/objfile"
@@ -80,14 +82,26 @@ type Analysis struct {
 	res pts.Result
 	r   *objfile.Reader // non-nil for AnalyzeFile
 	o   *obs.Observer   // non-nil when an Observer was attached
+
+	// evOnce lazily builds the query evaluator shared by Analysis.Query
+	// and Serve (see serve.go).
+	evOnce sync.Once
+	ev     *evalState
+	evErr  error
 }
 
 // Analyze runs points-to analysis over the database.
 func (db *Database) Analyze(opts *AnalyzeOptions) (*Analysis, error) {
+	return db.AnalyzeCtx(context.Background(), opts)
+}
+
+// AnalyzeCtx is Analyze under a context: the solver fixpoint checks for
+// cancellation and returns ctx's error when it fires.
+func (db *Database) AnalyzeCtx(ctx context.Context, opts *AnalyzeOptions) (*Analysis, error) {
 	src := pts.NewMemSource(db.prog)
-	res, err := solve(src, opts)
+	res, err := solve(ctx, src, opts)
 	if err != nil {
-		return nil, err
+		return nil, claerr.New(claerr.PhaseAnalyze, err)
 	}
 	return &Analysis{db: db, src: src, res: res, o: opts.observer()}, nil
 }
@@ -96,15 +110,20 @@ func (db *Database) Analyze(opts *AnalyzeOptions) (*Analysis, error) {
 // loading directly from the file — the full CLA analyze phase. Call Close
 // when done.
 func AnalyzeFile(path string, opts *AnalyzeOptions) (*Analysis, error) {
+	return AnalyzeFileCtx(context.Background(), path, opts)
+}
+
+// AnalyzeFileCtx is AnalyzeFile under a context (see AnalyzeCtx).
+func AnalyzeFileCtx(ctx context.Context, path string, opts *AnalyzeOptions) (*Analysis, error) {
 	r, err := objfile.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, claerr.File(claerr.PhaseObject, path, err)
 	}
 	src := &pts.FileSource{R: r}
-	res, err := solve(src, opts)
+	res, err := solve(ctx, src, opts)
 	if err != nil {
 		r.Close()
-		return nil, err
+		return nil, claerr.File(claerr.PhaseAnalyze, path, err)
 	}
 	r.LoadStats().Publish(opts.observer())
 	// Materialize symbols for Object accessors.
@@ -121,14 +140,14 @@ func (a *Analysis) Close() error {
 	return nil
 }
 
-func solve(src pts.Source, opts *AnalyzeOptions) (pts.Result, error) {
+func solve(ctx context.Context, src pts.Source, opts *AnalyzeOptions) (pts.Result, error) {
 	alg := PreTransitive
 	if opts != nil {
 		alg = opts.Algorithm
 	}
 	o := opts.observer()
 	sp := o.Start("analyze")
-	res, err := solveAlg(src, opts, alg)
+	res, err := solveAlg(ctx, src, opts, alg)
 	sp.End()
 	if err != nil {
 		return nil, err
@@ -137,12 +156,15 @@ func solve(src pts.Source, opts *AnalyzeOptions) (pts.Result, error) {
 	return res, nil
 }
 
-func solveAlg(src pts.Source, opts *AnalyzeOptions, alg Algorithm) (pts.Result, error) {
+func solveAlg(ctx context.Context, src pts.Source, opts *AnalyzeOptions, alg Algorithm) (pts.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	switch alg {
 	case PreTransitive:
-		return core.Solve(src, opts.coreConfig())
+		return core.SolveCtx(ctx, src, opts.coreConfig())
 	case WorklistAndersen:
-		return worklist.Solve(src)
+		return worklist.SolveCtx(ctx, src)
 	case SteensgaardUnify:
 		return steens.Solve(src)
 	case BitVectorAndersen:
@@ -154,7 +176,7 @@ func solveAlg(src pts.Source, opts *AnalyzeOptions, alg Algorithm) (pts.Result, 
 	case OneLevelFlow:
 		return onelevel.Solve(src)
 	}
-	return nil, fmt.Errorf("cla: unknown algorithm %d", alg)
+	return nil, claerr.Newf(claerr.PhaseUsage, "unknown algorithm %d", alg)
 }
 
 // Database returns the analyzed database.
@@ -263,7 +285,7 @@ func (a *Analysis) Dependence(targets []Object, opts *DependOptions) ([]Dependen
 	var ids []prim.SymID
 	for _, t := range targets {
 		if !t.Valid() {
-			return nil, fmt.Errorf("cla: invalid target object")
+			return nil, claerr.Newf(claerr.PhaseQuery, "invalid target object")
 		}
 		ids = append(ids, t.id)
 	}
@@ -276,7 +298,7 @@ func (a *Analysis) Dependence(targets []Object, opts *DependOptions) ([]Dependen
 	}
 	res, err := depend.Analyze(a.src, a.res, ids, dopts)
 	if err != nil {
-		return nil, err
+		return nil, claerr.New(claerr.PhaseQuery, err)
 	}
 	var out []Dependent
 	for _, d := range res.Dependents() {
@@ -295,7 +317,7 @@ func (a *Analysis) Dependence(targets []Object, opts *DependOptions) ([]Dependen
 func (a *Analysis) DependenceByName(name string, opts *DependOptions) ([]Dependent, error) {
 	targets := a.db.Lookup(name)
 	if len(targets) == 0 {
-		return nil, fmt.Errorf("cla: no object named %q", name)
+		return nil, claerr.Newf(claerr.PhaseQuery, "no object named %q: %w", name, claerr.ErrNotFound)
 	}
 	return a.Dependence(targets, opts)
 }

@@ -18,8 +18,9 @@
 package cla
 
 import (
-	"fmt"
+	"context"
 
+	"cla/internal/claerr"
 	"cla/internal/cpp"
 	"cla/internal/driver"
 	"cla/internal/frontend"
@@ -98,7 +99,7 @@ func CompileFile(path string, opts *Options) (*Database, error) {
 	loader := opts.loader()
 	content, name, err := loader.Load(path)
 	if err != nil {
-		return nil, err
+		return nil, claerr.File(claerr.PhaseCompile, path, err)
 	}
 	return compileText(name, content, loader, opts)
 }
@@ -113,7 +114,7 @@ func compileText(name, src string, loader cpp.Loader, opts *Options) (*Database,
 	defer sp.End()
 	prog, err := frontend.CompileSource(name, src, loader, opts.frontend())
 	if err != nil {
-		return nil, err
+		return nil, claerr.File(claerr.PhaseCompile, name, err)
 	}
 	return &Database{prog: prog}, nil
 }
@@ -121,15 +122,24 @@ func compileText(name, src string, loader cpp.Loader, opts *Options) (*Database,
 // CompileDir compiles and links every .c file in dir, fanning the unit
 // compiles out across Options.Jobs workers.
 func CompileDir(dir string, opts *Options) (*Database, error) {
+	return CompileDirCtx(context.Background(), dir, opts)
+}
+
+// CompileDirCtx is CompileDir under a context: a cancellation stops
+// undispatched unit compiles and returns ctx's error. Options.IncludeDirs
+// joins dir on the #include search path of every unit.
+func CompileDirCtx(ctx context.Context, dir string, opts *Options) (*Database, error) {
 	o := frontend.Options{}
 	jobs := 0
+	var includes []string
 	if opts != nil {
 		o = opts.frontend()
 		jobs = opts.Jobs
+		includes = opts.IncludeDirs
 	}
-	prog, err := driver.CompileDirObs(dir, o, jobs, opts.observer())
+	prog, err := driver.CompileDirCtx(ctx, dir, includes, o, jobs, opts.observer())
 	if err != nil {
-		return nil, err
+		return nil, claerr.File(claerr.PhaseCompile, dir, err)
 	}
 	return &Database{prog: prog}, nil
 }
@@ -139,20 +149,20 @@ func Link(dbs ...*Database) (*Database, error) {
 	progs := make([]*prim.Program, len(dbs))
 	for i, db := range dbs {
 		if db == nil {
-			return nil, fmt.Errorf("cla: nil database at index %d", i)
+			return nil, claerr.Newf(claerr.PhaseLink, "nil database at index %d", i)
 		}
 		progs[i] = db.prog
 	}
 	merged, err := linker.Link(progs)
 	if err != nil {
-		return nil, err
+		return nil, claerr.New(claerr.PhaseLink, err)
 	}
 	return &Database{prog: merged}, nil
 }
 
 // WriteFile serializes the database to the indexed object-file format.
 func (db *Database) WriteFile(path string) error {
-	return objfile.WriteFile(path, db.prog)
+	return claerr.File(claerr.PhaseObject, path, objfile.WriteFile(path, db.prog))
 }
 
 // OpenFile loads a serialized database fully into memory. For the
@@ -160,12 +170,12 @@ func (db *Database) WriteFile(path string) error {
 func OpenFile(path string) (*Database, error) {
 	r, err := objfile.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, claerr.File(claerr.PhaseObject, path, err)
 	}
 	defer r.Close()
 	prog, err := r.Program()
 	if err != nil {
-		return nil, err
+		return nil, claerr.File(claerr.PhaseObject, path, err)
 	}
 	return &Database{prog: prog}, nil
 }

@@ -1,0 +1,122 @@
+package cla
+
+// End-to-end test of the claserve binary: start it on a unix socket over
+// a source directory, query every endpoint through a real HTTP client,
+// then drain it with SIGTERM and expect a clean exit.
+
+import (
+	"bufio"
+	"context"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestClaserveEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	tools := buildTools(t, "claserve")
+	work := t.TempDir()
+	os.WriteFile(filepath.Join(work, "a.c"),
+		[]byte("int shared;\nint *sp, *tp;\nvoid init(void) { sp = &shared; tp = sp; }\n"), 0o644)
+
+	sock := filepath.Join(t.TempDir(), "cla.sock")
+	cmd := exec.Command(tools["claserve"], "-unix", sock, "-ready", "-j", "2", work)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// Wait for the READY line before connecting.
+	lines := bufio.NewScanner(stdout)
+	ready := make(chan bool, 1)
+	go func() {
+		for lines.Scan() {
+			if strings.HasPrefix(lines.Text(), "READY") {
+				ready <- true
+				return
+			}
+		}
+		ready <- false
+	}()
+	select {
+	case ok := <-ready:
+		if !ok {
+			t.Fatal("claserve exited before READY")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("timed out waiting for READY")
+	}
+
+	client := &http.Client{Transport: &http.Transport{
+		DialContext: func(ctx context.Context, _, _ string) (net.Conn, error) {
+			return net.Dial("unix", sock)
+		},
+	}}
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := client.Get("http://claserve" + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var sb strings.Builder
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			sb.WriteString(sc.Text())
+		}
+		return resp.StatusCode, sb.String()
+	}
+
+	if code, body := get("/healthz"); code != 200 || !strings.HasPrefix(body, "ok") {
+		t.Errorf("healthz = %d %q", code, body)
+	}
+	if code, body := get("/v1/pointsto?name=sp"); code != 200 || !strings.Contains(body, `"name": "shared"`) {
+		t.Errorf("pointsto = %d %q", code, body)
+	}
+	if code, body := get("/v1/alias?x=sp&y=tp"); code != 200 || !strings.Contains(body, `"alias": true`) {
+		t.Errorf("alias = %d %q", code, body)
+	}
+	if code, _ := get("/v1/pointsto?name=nosuch"); code != 404 {
+		t.Errorf("pointsto(nosuch) = %d, want 404", code)
+	}
+	resp, err := client.Post("http://claserve/v1/query", "application/json",
+		strings.NewReader(`{"queries":[{"kind":"callgraph"},{"kind":"lint"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("batch = %d", resp.StatusCode)
+	}
+	if code, body := get("/statsz"); code != 200 || !strings.Contains(body, "serve.requests") {
+		t.Errorf("statsz = %d %q", code, body)
+	}
+
+	// Graceful drain: SIGTERM must produce a clean exit.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("claserve exited uncleanly after SIGTERM: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("claserve did not exit after SIGTERM")
+	}
+}

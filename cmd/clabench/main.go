@@ -12,6 +12,7 @@
 //	clabench -table 8 -j 8               # sequential vs parallel pipeline
 //	clabench -table 9                    # analysis clients (clalint checks)
 //	clabench -table 10                   # set machinery: time/alloc/live per solver
+//	clabench -table 11 -j 8              # query serving: qps + latency percentiles
 //	clabench -all                        # everything
 //
 // Absolute times depend on the host; the shapes (who wins, by what
@@ -32,7 +33,7 @@ import (
 
 func main() {
 	var (
-		table     = flag.Int("table", 0, "table to regenerate (2-10)")
+		table     = flag.Int("table", 0, "table to regenerate (2-11)")
 		all       = flag.Bool("all", false, "regenerate every table")
 		scale     = flag.Float64("scale", 1.0, "workload scale factor")
 		seed      = flag.Int64("seed", 1, "generation seed")
@@ -42,12 +43,14 @@ func main() {
 		jsonOut   = flag.String("json", "BENCH_parallel.json", "file recording the parallel-pipeline rows (empty to skip)")
 		checksOut = flag.String("checks-json", "BENCH_checks.json", "file recording the analysis-client rows (empty to skip)")
 		setsOut   = flag.String("sets-json", "BENCH_sets.json", "file recording the set-machinery rows (empty to skip)")
+		serveOut  = flag.String("serve-json", "BENCH_serve.json", "file recording the query-serving rows (empty to skip)")
+		queries   = flag.Int("queries", 2000, "queries per workload for the query-serving table")
 	)
 	obsFlags := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
 
-	if !*all && (*table < 2 || *table > 10) {
-		fmt.Fprintln(os.Stderr, "clabench: pass -all or -table 2..10")
+	if !*all && (*table < 2 || *table > 11) {
+		fmt.Fprintln(os.Stderr, "clabench: pass -all or -table 2..11")
 		os.Exit(2)
 	}
 	o := obsFlags.Observer()
@@ -61,7 +64,7 @@ func main() {
 	need := func(t int) bool { return *all || *table == t }
 
 	var workloads []*bench.Workload
-	if need(2) || need(3) || need(4) || need(6) || need(7) || need(9) || need(10) {
+	if need(2) || need(3) || need(4) || need(6) || need(7) || need(9) || need(10) || need(11) {
 		fmt.Fprintf(os.Stderr, "clabench: building %d workloads at scale %g...\n",
 			len(gen.Table2), *scale)
 		bsp := span("build workloads")
@@ -226,6 +229,25 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Fprintf(os.Stderr, "clabench: wrote %s\n", *setsOut)
+		}
+		tsp.End()
+	}
+	if need(11) {
+		tsp := span("table 11")
+		fmt.Printf("== Query serving: mixed query drain over one snapshot (-j %d) ==\n", *jobs)
+		rows, err := bench.RunServeAll(workloads, *jobs, *queries)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "clabench: %v\n", err)
+			os.Exit(1)
+		}
+		bench.FormatServe(os.Stdout, rows)
+		if *serveOut != "" {
+			meta := bench.NewMeta("query-serving", *jobs, *scale, *seed)
+			if err := bench.WriteServeJSON(*serveOut, rows, meta); err != nil {
+				fmt.Fprintf(os.Stderr, "clabench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "clabench: wrote %s\n", *serveOut)
 		}
 		tsp.End()
 	}

@@ -1,0 +1,163 @@
+// Claserve is the CLA query server: it analyzes a linked object database
+// or a source directory once, then answers points-to, may-alias, call
+// graph, MOD/REF, dependence and lint queries over HTTP until stopped.
+//
+// Usage:
+//
+//	claserve -listen :8080 program.cla        # serve a database over TCP
+//	claserve -unix /tmp/cla.sock src/         # compile+serve a directory
+//	claserve -I include/ -j 8 src/            # extra include dirs, 8 workers
+//	claserve -deadline 5s program.cla         # per-request evaluation cap
+//
+// Endpoints:
+//
+//	GET  /healthz                             liveness (503 while draining)
+//	GET  /statsz                              sessions + observer metrics
+//	GET  /v1/sessions                         registered session names
+//	POST /v1/query                            batched queries (JSON)
+//	GET  /v1/pointsto?name=p                  single-query conveniences
+//	GET  /v1/alias?x=p&y=q
+//	GET  /v1/callgraph
+//	GET  /v1/modref?func=f
+//	GET  /v1/dependence?target=x&dropweak=1
+//	GET  /v1/lint?checks=escape,deref
+//
+// SIGINT or SIGTERM drains gracefully: health flips to 503, in-flight
+// requests finish (up to -grace), then the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"syscall"
+	"time"
+
+	"cla/internal/claerr"
+	"cla/internal/driver"
+	"cla/internal/obs"
+	"cla/internal/parallel"
+	"cla/internal/serve"
+)
+
+func main() {
+	var (
+		listen     = flag.String("listen", "127.0.0.1:8080", "TCP address to serve on")
+		unixSock   = flag.String("unix", "", "unix socket path to serve on (overrides -listen)")
+		name       = flag.String("name", "", "session name (default: input basename)")
+		includes   = flag.String("I", "", "comma-separated extra include directories (directory inputs)")
+		solverName = flag.String("solver", "pretrans", "solver: pretrans, worklist, steens, bitvec or onelevel")
+		jobs       = flag.Int("j", runtime.GOMAXPROCS(0), "workers for compilation, analysis and batch queries")
+		deadline   = flag.Duration("deadline", 0, "per-request evaluation deadline (0 = none)")
+		grace      = flag.Duration("grace", 10*time.Second, "drain timeout on shutdown")
+		ready      = flag.Bool("ready", false, "print one READY line once serving (for scripts)")
+	)
+	obsFlags := obs.AddFlags(flag.CommandLine)
+	flag.Parse()
+	if err := run(flag.Args(), *listen, *unixSock, *name, *includes, *solverName,
+		*jobs, *deadline, *grace, *ready, obsFlags); err != nil {
+		fmt.Fprintf(os.Stderr, "claserve: %v\n", err)
+		os.Exit(claerr.ExitCode(err))
+	}
+}
+
+func run(args []string, listen, unixSock, name, includes, solverName string,
+	jobs int, deadline, grace time.Duration, ready bool, obsFlags *obs.Flags) error {
+	if len(args) == 0 {
+		return claerr.Newf(claerr.PhaseUsage, "need a .cla database or a source directory")
+	}
+	solver, err := driver.ParseSolver(solverName)
+	if err != nil {
+		return claerr.New(claerr.PhaseUsage, err)
+	}
+	o := obsFlags.Observer()
+	parallel.SetObserver(o)
+	if err := obsFlags.Start(); err != nil {
+		return claerr.New(claerr.PhaseUsage, err)
+	}
+
+	var incDirs []string
+	if includes != "" {
+		incDirs = strings.Split(includes, ",")
+	}
+	cfg := serve.Config{Solver: solver, Jobs: jobs, Includes: incDirs, Obs: o}
+	reg := serve.NewRegistry()
+	for _, path := range args {
+		n := name
+		if n == "" || len(args) > 1 {
+			n = sessionName(path)
+		}
+		sess, err := serve.Open(context.Background(), n, path, cfg)
+		if err != nil {
+			return err
+		}
+		reg.Add(sess)
+		fmt.Fprintf(os.Stderr, "claserve: session %q ready (%d symbols, %d assignments)\n",
+			sess.Name, sess.Eval.NumSyms(), sess.Eval.NumAssigns())
+	}
+
+	srv := serve.NewServer(reg, serve.ServerConfig{Jobs: jobs, Deadline: deadline, Obs: o})
+	ln, addr, err := listenOn(listen, unixSock)
+	if err != nil {
+		return claerr.New(claerr.PhaseServe, err)
+	}
+	fmt.Fprintf(os.Stderr, "claserve: serving on %s\n", addr)
+	if ready {
+		fmt.Printf("READY %s\n", addr)
+	}
+
+	// Drain on SIGINT/SIGTERM: stop accepting, let in-flight requests
+	// finish (bounded by -grace), then exit.
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-done:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return claerr.New(claerr.PhaseServe, err)
+		}
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "claserve: %v, draining\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), grace)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return claerr.New(claerr.PhaseServe, err)
+		}
+		<-done
+	}
+	if unixSock != "" {
+		os.Remove(unixSock)
+	}
+	return obsFlags.Finish()
+}
+
+// listenOn opens the serving socket: a unix socket when requested
+// (removing a stale socket file first), TCP otherwise.
+func listenOn(tcp, unixSock string) (net.Listener, string, error) {
+	if unixSock != "" {
+		os.Remove(unixSock)
+		ln, err := net.Listen("unix", unixSock)
+		return ln, "unix:" + unixSock, err
+	}
+	ln, err := net.Listen("tcp", tcp)
+	if err != nil {
+		return nil, "", err
+	}
+	return ln, ln.Addr().String(), nil
+}
+
+// sessionName derives a session name from an input path: the basename
+// without a .cla extension.
+func sessionName(path string) string {
+	base := filepath.Base(filepath.Clean(path))
+	return strings.TrimSuffix(base, ".cla")
+}

@@ -1,0 +1,24 @@
+/* The funcpointers example program as a standalone translation unit, so
+ * scripted clients (the CI claserve smoke) can serve it from disk. Keep
+ * in sync with the `source` constant in ../main.go. */
+int buf_a, buf_b, buf_c;
+
+int *handle_read(int *req)  { return req; }
+int *handle_write(int *req) { buf_a = *req; return &buf_a; }
+int *handle_close(int *req) { return &buf_b; }
+
+int *(*dispatch[3])(int *);
+int *(*hot)(int *);
+
+void install(void) {
+	dispatch[0] = handle_read;
+	dispatch[1] = handle_write;
+	dispatch[2] = &handle_close;
+}
+
+int *serve(int which) {
+	int *result;
+	hot = dispatch[which];
+	result = hot(&buf_c);
+	return result;
+}

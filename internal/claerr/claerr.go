@@ -1,0 +1,155 @@
+// Package claerr defines the typed error reported at every public
+// boundary of the toolkit: the root cla package aliases Error and Phase so
+// library users can dispatch on the failing pipeline phase with
+// errors.As, while the serving layer and the CLIs map the same phases to
+// HTTP statuses and exit codes. Keeping the type in a leaf package lets
+// internal packages (serve, driver) classify errors without importing the
+// root package.
+package claerr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// Phase names the pipeline stage an error came from.
+type Phase string
+
+// The pipeline phases.
+const (
+	// PhaseUsage is a malformed request to the API itself: unknown
+	// algorithm, unknown check name, invalid option combination.
+	PhaseUsage Phase = "usage"
+	// PhaseCompile covers C preprocessing, parsing and lowering.
+	PhaseCompile Phase = "compile"
+	// PhaseLink covers database merging.
+	PhaseLink Phase = "link"
+	// PhaseObject covers serialized-database I/O (open, read, write).
+	PhaseObject Phase = "object"
+	// PhaseAnalyze covers points-to solving.
+	PhaseAnalyze Phase = "analyze"
+	// PhaseQuery covers post-analysis queries (points-to, alias,
+	// dependence, serving requests).
+	PhaseQuery Phase = "query"
+	// PhaseLint covers the static-analysis clients.
+	PhaseLint Phase = "lint"
+	// PhaseServe covers query-server lifecycle failures.
+	PhaseServe Phase = "serve"
+)
+
+// ErrNotFound marks queries that name an object, session or function the
+// database does not contain. Test with errors.Is.
+var ErrNotFound = errors.New("not found")
+
+// Error is the typed error of the public API: which phase failed, the
+// input file it failed on when one is known, and the underlying cause.
+// It supports errors.Is/As and unwraps to Err.
+type Error struct {
+	Phase Phase
+	// File and Line locate the failing input when known (the path passed
+	// to CompileFile/OpenFile, a source position for parse errors).
+	File string
+	Line int
+	Err  error
+}
+
+// Error renders "cla: <phase> <file:line>: <cause>", omitting the parts
+// that are unset.
+func (e *Error) Error() string {
+	msg := "unknown error"
+	if e.Err != nil {
+		msg = e.Err.Error()
+	}
+	switch {
+	case e.File != "" && e.Line > 0:
+		return fmt.Sprintf("cla: %s %s:%d: %s", e.Phase, e.File, e.Line, msg)
+	case e.File != "":
+		return fmt.Sprintf("cla: %s %s: %s", e.Phase, e.File, msg)
+	}
+	return fmt.Sprintf("cla: %s: %s", e.Phase, msg)
+}
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *Error) Unwrap() error { return e.Err }
+
+// New wraps err with a phase. A nil err returns nil; an err that is
+// already an *Error keeps its original phase and location.
+func New(phase Phase, err error) error {
+	if err == nil {
+		return nil
+	}
+	var e *Error
+	if errors.As(err, &e) {
+		return err
+	}
+	return &Error{Phase: phase, Err: err}
+}
+
+// Newf wraps a formatted cause (supporting %w) with a phase.
+func Newf(phase Phase, format string, args ...any) error {
+	return &Error{Phase: phase, Err: fmt.Errorf(format, args...)}
+}
+
+// File wraps err with a phase and the input file it failed on. Like New
+// it preserves an existing *Error and maps nil to nil.
+func File(phase Phase, file string, err error) error {
+	if err == nil {
+		return nil
+	}
+	var e *Error
+	if errors.As(err, &e) {
+		return err
+	}
+	return &Error{Phase: phase, File: file, Err: err}
+}
+
+// PhaseOf extracts the phase of err, or "" when err carries none.
+func PhaseOf(err error) Phase {
+	var e *Error
+	if errors.As(err, &e) {
+		return e.Phase
+	}
+	return ""
+}
+
+// HTTPStatus maps an error to the status code the serving layer reports:
+//
+//	usage, query          400 (404 when wrapping ErrNotFound)
+//	compile, link, object 422 (the input database is unprocessable)
+//	context.Canceled      499 (client closed request, nginx convention)
+//	context.DeadlineExceeded 504
+//	analyze, lint, serve and everything else 500
+func HTTPStatus(err error) int {
+	switch {
+	case err == nil:
+		return http.StatusOK
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return 499
+	case errors.Is(err, ErrNotFound):
+		return http.StatusNotFound
+	}
+	switch PhaseOf(err) {
+	case PhaseUsage, PhaseQuery:
+		return http.StatusBadRequest
+	case PhaseCompile, PhaseLink, PhaseObject:
+		return http.StatusUnprocessableEntity
+	}
+	return http.StatusInternalServerError
+}
+
+// ExitCode maps an error to the exit-code convention the CLIs already
+// use: 2 for usage errors (bad flags, unknown solvers — the caller's
+// fault), 1 for everything else (the input's fault). A nil error is 0.
+func ExitCode(err error) int {
+	if err == nil {
+		return 0
+	}
+	if PhaseOf(err) == PhaseUsage {
+		return 2
+	}
+	return 1
+}

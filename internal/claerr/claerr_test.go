@@ -1,0 +1,90 @@
+package claerr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"testing"
+)
+
+func TestErrorRendering(t *testing.T) {
+	cases := []struct {
+		err  *Error
+		want string
+	}{
+		{&Error{Phase: PhaseCompile, Err: errors.New("boom")}, "cla: compile: boom"},
+		{&Error{Phase: PhaseCompile, File: "a.c", Err: errors.New("boom")}, "cla: compile a.c: boom"},
+		{&Error{Phase: PhaseQuery, File: "a.c", Line: 7, Err: errors.New("boom")}, "cla: query a.c:7: boom"},
+		{&Error{Phase: PhaseLink}, "cla: link: unknown error"},
+	}
+	for _, c := range cases {
+		if got := c.err.Error(); got != c.want {
+			t.Errorf("Error() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestWrappingPreservesIsAs(t *testing.T) {
+	cause := errors.New("root cause")
+	err := New(PhaseAnalyze, fmt.Errorf("solving: %w", cause))
+	if !errors.Is(err, cause) {
+		t.Error("errors.Is does not see the cause through Error")
+	}
+	var e *Error
+	if !errors.As(err, &e) {
+		t.Fatal("errors.As failed")
+	}
+	if e.Phase != PhaseAnalyze {
+		t.Errorf("phase = %q, want analyze", e.Phase)
+	}
+	// Re-wrapping keeps the original phase.
+	rewrapped := New(PhaseQuery, err)
+	if PhaseOf(rewrapped) != PhaseAnalyze {
+		t.Errorf("rewrap changed phase to %q", PhaseOf(rewrapped))
+	}
+	if New(PhaseQuery, nil) != nil {
+		t.Error("New(nil) != nil")
+	}
+	if File(PhaseObject, "x.cla", nil) != nil {
+		t.Error("File(nil) != nil")
+	}
+}
+
+func TestHTTPStatus(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{nil, http.StatusOK},
+		{Newf(PhaseQuery, "bad request shape"), http.StatusBadRequest},
+		{Newf(PhaseUsage, "unknown solver"), http.StatusBadRequest},
+		{Newf(PhaseQuery, "no object named x: %w", ErrNotFound), http.StatusNotFound},
+		{Newf(PhaseCompile, "parse error"), http.StatusUnprocessableEntity},
+		{Newf(PhaseObject, "bad magic"), http.StatusUnprocessableEntity},
+		{Newf(PhaseAnalyze, "no convergence"), http.StatusInternalServerError},
+		{New(PhaseQuery, context.Canceled), 499},
+		{New(PhaseQuery, context.DeadlineExceeded), http.StatusGatewayTimeout},
+		{errors.New("untyped"), http.StatusInternalServerError},
+	}
+	for _, c := range cases {
+		if got := HTTPStatus(c.err); got != c.want {
+			t.Errorf("HTTPStatus(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+}
+
+func TestExitCode(t *testing.T) {
+	if got := ExitCode(nil); got != 0 {
+		t.Errorf("ExitCode(nil) = %d", got)
+	}
+	if got := ExitCode(Newf(PhaseUsage, "bad flag")); got != 2 {
+		t.Errorf("usage exit = %d, want 2", got)
+	}
+	if got := ExitCode(Newf(PhaseCompile, "boom")); got != 1 {
+		t.Errorf("compile exit = %d, want 1", got)
+	}
+	if got := ExitCode(errors.New("untyped")); got != 1 {
+		t.Errorf("untyped exit = %d, want 1", got)
+	}
+}

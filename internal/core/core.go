@@ -27,6 +27,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"cla/internal/parallel"
@@ -142,6 +143,14 @@ type node struct {
 
 // Solve runs the analysis over src.
 func Solve(src pts.Source, cfg Config) (*Result, error) {
+	return SolveCtx(context.Background(), src, cfg)
+}
+
+// SolveCtx is Solve under a context: the outer fixpoint checks for
+// cancellation once per pass and every few hundred complex assignments
+// within a pass, so a long solve aborts promptly with ctx.Err(). The
+// background context costs one nil check per boundary.
+func SolveCtx(ctx context.Context, src pts.Source, cfg Config) (*Result, error) {
 	if cfg.MaxPasses == 0 {
 		cfg.MaxPasses = 1 << 20
 	}
@@ -201,6 +210,9 @@ func Solve(src pts.Source, cfg Config) (*Result, error) {
 
 	// The iteration algorithm (Figure 5).
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		s.pass++
 		if int(s.pass) > cfg.MaxPasses {
 			return nil, fmt.Errorf("core: no convergence after %d passes", cfg.MaxPasses)
@@ -210,6 +222,11 @@ func Solve(src pts.Source, cfg Config) (*Result, error) {
 		s.flushShared()
 
 		for i := 0; i < len(s.complex); i++ {
+			if i&0xff == 0xff {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			ca := s.complex[i]
 			switch ca.kind {
 			case ckStore: // *x = y: add an edge n(z) → n(y) for each &z in lvals(x)

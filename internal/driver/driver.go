@@ -4,6 +4,7 @@
 package driver
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -97,10 +98,16 @@ func CompileUnitsJobs(units []string, loader cpp.Loader, opts frontend.Options, 
 // keyed by the unit's index (not the worker's), then the link phase is
 // traced by LinkParallelObs. The nil observer costs nothing.
 func CompileUnitsObs(units []string, loader cpp.Loader, opts frontend.Options, jobs int, o *obs.Observer) (*prim.Program, error) {
+	return CompileUnitsCtx(context.Background(), units, loader, opts, jobs, o)
+}
+
+// CompileUnitsCtx is CompileUnitsObs under a context: a cancellation
+// stops undispatched unit compiles and aborts before the link.
+func CompileUnitsCtx(ctx context.Context, units []string, loader cpp.Loader, opts frontend.Options, jobs int, o *obs.Observer) (*prim.Program, error) {
 	sp := o.Start("compile")
 	o.SetCounter("compile.units", int64(len(units)))
 	progs := make([]*prim.Program, len(units))
-	err := parallel.ForEach(jobs, len(units), func(i int) error {
+	err := parallel.ForEachCtx(ctx, jobs, len(units), func(i int) error {
 		usp := o.StartTrack(i+1, "unit "+filepath.Base(units[i]))
 		defer usp.End()
 		p, err := frontend.CompileFile(units[i], loader, opts)
@@ -131,6 +138,15 @@ func CompileDirJobs(dir string, opts frontend.Options, jobs int) (*prim.Program,
 
 // CompileDirObs is CompileDirJobs under an observer.
 func CompileDirObs(dir string, opts frontend.Options, jobs int, o *obs.Observer) (*prim.Program, error) {
+	return CompileDirCtx(context.Background(), dir, nil, opts, jobs, o)
+}
+
+// CompileDirCtx compiles every .c file under dir with dir plus the
+// caller's extra include directories on the #include search path — the
+// one place the directory pipeline builds its loader, so include paths
+// given to the public API reach every unit compile. A cancellation stops
+// undispatched unit compiles.
+func CompileDirCtx(ctx context.Context, dir string, includes []string, opts frontend.Options, jobs int, o *obs.Observer) (*prim.Program, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -145,19 +161,30 @@ func CompileDirObs(dir string, opts frontend.Options, jobs int, o *obs.Observer)
 	if len(units) == 0 {
 		return nil, fmt.Errorf("driver: no .c files in %s", dir)
 	}
-	loader := cpp.OSLoader{Dirs: []string{dir}}
-	return CompileUnitsObs(units, loader, opts, jobs, o)
+	loader := cpp.OSLoader{Dirs: append([]string{dir}, includes...)}
+	return CompileUnitsCtx(ctx, units, loader, opts, jobs, o)
 }
 
 // Analyze runs the selected solver over src. cfg applies to the
 // pre-transitive solver; cfg.Jobs also bounds the bit-vector solver's
 // final-set materialization.
 func Analyze(src pts.Source, solver Solver, cfg core.Config) (pts.Result, error) {
+	return AnalyzeCtx(context.Background(), src, solver, cfg)
+}
+
+// AnalyzeCtx is Analyze under a context. The pre-transitive and worklist
+// solvers check for cancellation inside their fixpoints; the remaining
+// whole-program solvers (Steensgaard, bit-vector, one-level) check only
+// at entry, as their single pass over the database is not interruptible.
+func AnalyzeCtx(ctx context.Context, src pts.Source, solver Solver, cfg core.Config) (pts.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	switch solver {
 	case PreTransitive:
-		return core.Solve(src, cfg)
+		return core.SolveCtx(ctx, src, cfg)
 	case Worklist:
-		return worklist.Solve(src)
+		return worklist.SolveCtx(ctx, src)
 	case Steensgaard:
 		return steens.Solve(src)
 	case BitVector:
@@ -181,9 +208,14 @@ func AnalyzeProgram(p *prim.Program, solver Solver, cfg core.Config) (pts.Result
 // analyze.heap_peak_bytes gauge (the paper's Table 2 memory column).
 // The nil observer costs nothing.
 func AnalyzeObs(src pts.Source, solver Solver, cfg core.Config, o *obs.Observer) (pts.Result, error) {
+	return AnalyzeObsCtx(context.Background(), src, solver, cfg, o)
+}
+
+// AnalyzeObsCtx is AnalyzeObs under a context (see AnalyzeCtx).
+func AnalyzeObsCtx(ctx context.Context, src pts.Source, solver Solver, cfg core.Config, o *obs.Observer) (pts.Result, error) {
 	sp := o.Start("analyze")
 	stopHeap := obs.WatchHeap(o.Gauge("analyze.heap_peak_bytes"), 0)
-	res, err := Analyze(src, solver, cfg)
+	res, err := AnalyzeCtx(ctx, src, solver, cfg)
 	stopHeap()
 	sp.End()
 	if err != nil {

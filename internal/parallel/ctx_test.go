@@ -1,0 +1,84 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCtxCanceledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, j := range []int{1, 4} {
+		var ran atomic.Int64
+		err := ForEachCtx(ctx, j, 100, func(i int) error {
+			ran.Add(1)
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("j=%d: err = %v, want context.Canceled", j, err)
+		}
+		if ran.Load() != 0 {
+			t.Errorf("j=%d: %d indexes ran after pre-cancellation", j, ran.Load())
+		}
+	}
+}
+
+func TestForEachCtxCanceledMidway(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	err := ForEachCtx(ctx, 1, 100, func(i int) error {
+		if i == 10 {
+			cancel()
+		}
+		ran.Add(1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n != 11 {
+		t.Errorf("ran %d indexes, want 11 (0..10)", n)
+	}
+}
+
+// TestForEachCtxErrorBeatsCancel pins the deterministic error choice: a
+// real worker error is reported in preference to the cancellation that
+// it may have raced with.
+func TestForEachCtxErrorBeatsCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	boom := errors.New("boom")
+	err := ForEachCtx(ctx, 1, 10, func(i int) error {
+		if i == 3 {
+			cancel()
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+func TestShardCtxCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := ShardCtx(ctx, 4, 1000, func(worker, lo, hi int) error { return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestForEachCtxNilLikeBackground(t *testing.T) {
+	var ran atomic.Int64
+	if err := ForEachCtx(context.Background(), 4, 50, func(i int) error {
+		ran.Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 50 {
+		t.Errorf("ran %d, want 50", ran.Load())
+	}
+}

@@ -7,6 +7,7 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -67,6 +68,16 @@ func (p *poolObs) note(j, n int) {
 // failure — the same error a sequential loop would have reported first,
 // regardless of scheduling.
 func ForEach(j, n int, fn func(i int) error) error {
+	return ForEachCtx(context.Background(), j, n, fn)
+}
+
+// ForEachCtx is ForEach under a context: each worker checks ctx before
+// dispatching the next index, so a cancellation stops the batch promptly
+// — indexes already running finish, undispatched ones never start. When
+// the context fires, the returned error is the lowest-indexed real
+// failure if one occurred, otherwise ctx.Err(). The background context
+// adds one nil check per index.
+func ForEachCtx(ctx context.Context, j, n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -77,6 +88,9 @@ func ForEach(j, n int, fn func(i int) error) error {
 	observer.Load().note(j, n)
 	if j == 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -86,12 +100,17 @@ func ForEach(j, n int, fn func(i int) error) error {
 	errs := make([]error, n)
 	var next atomic.Int64
 	next.Store(-1)
+	var canceled atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < j; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					canceled.Store(true)
+					return
+				}
 				i := int(next.Add(1))
 				if i >= n {
 					return
@@ -106,6 +125,9 @@ func ForEach(j, n int, fn func(i int) error) error {
 			return err
 		}
 	}
+	if canceled.Load() {
+		return ctx.Err()
+	}
 	return nil
 }
 
@@ -115,6 +137,12 @@ func ForEach(j, n int, fn func(i int) error) error {
 // is merged deterministically by the caller afterwards. The returned
 // error is the lowest-worker failure.
 func Shard(j, n int, fn func(worker, lo, hi int) error) error {
+	return ShardCtx(context.Background(), j, n, fn)
+}
+
+// ShardCtx is Shard under a context; a cancellation stops undispatched
+// shards (see ForEachCtx).
+func ShardCtx(ctx context.Context, j, n int, fn func(worker, lo, hi int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -133,7 +161,7 @@ func Shard(j, n int, fn func(worker, lo, hi int) error) error {
 		bounds[w], bounds[w+1] = lo, hi
 		lo = hi
 	}
-	return ForEach(j, j, func(w int) error {
+	return ForEachCtx(ctx, j, j, func(w int) error {
 		return fn(w, bounds[w], bounds[w+1])
 	})
 }

@@ -17,6 +17,7 @@
 package worklist
 
 import (
+	"context"
 	"sort"
 
 	"cla/internal/prim"
@@ -73,6 +74,13 @@ func (r *Result) Metrics() pts.Metrics { return r.m }
 
 // Solve computes Andersen's analysis with explicit transitive propagation.
 func Solve(src pts.Source) (*Result, error) {
+	return SolveCtx(context.Background(), src)
+}
+
+// SolveCtx is Solve under a context: the worklist loop checks for
+// cancellation every few thousand pops, so a long solve aborts promptly
+// with ctx.Err().
+func SolveCtx(ctx context.Context, src pts.Source) (*Result, error) {
 	s := &solver{
 		src:       src,
 		n:         src.NumSyms(),
@@ -136,7 +144,14 @@ func Solve(src pts.Source) (*Result, error) {
 		}
 	}
 
+	pops := 0
 	for len(s.work) > 0 {
+		pops++
+		if pops&0xfff == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		v := s.work[len(s.work)-1]
 		s.work = s.work[:len(s.work)-1]
 		s.inWk[v] = false

@@ -1,0 +1,305 @@
+package serve
+
+import (
+	"context"
+	"sort"
+	"strings"
+	"sync"
+
+	"cla/internal/checks"
+	"cla/internal/claerr"
+	"cla/internal/depend"
+	"cla/internal/parallel"
+	"cla/internal/prim"
+	"cla/internal/pts"
+)
+
+// Evaluator answers queries against one analyzed snapshot. All state is
+// read-only after construction except the lazily built checks report
+// (guarded by a sync.Once), so an Evaluator is safe for concurrent use —
+// the property the whole serving layer rests on.
+type Evaluator struct {
+	// Prog is the full database (symbols, assignments, call sites).
+	Prog *prim.Program
+	// Src is a concurrency-safe assignment source over Prog; the
+	// dependence analysis demand-walks it per query.
+	Src pts.Source
+	// Res is the solved points-to relation (snapshot-backed, O(1) and
+	// concurrency-safe per the PR-1 contract).
+	Res pts.Result
+	// Jobs bounds batch fan-out and the cached checks run (0 = all
+	// cores). Responses are identical at every setting.
+	Jobs int
+
+	// byName indexes non-temporary symbols by source name, ids ascending.
+	byName map[string][]prim.SymID
+
+	// checksOnce computes the full checks report (all four checks) the
+	// first time a callgraph, modref or lint query needs it; later
+	// queries share it.
+	checksOnce sync.Once
+	checksRep  *checks.Report
+	checksErr  error
+}
+
+// NewEvaluator builds the shared lookup structures for a snapshot.
+func NewEvaluator(prog *prim.Program, src pts.Source, res pts.Result, jobs int) *Evaluator {
+	e := &Evaluator{Prog: prog, Src: src, Res: res, Jobs: jobs,
+		byName: make(map[string][]prim.SymID)}
+	for i := range prog.Syms {
+		if prog.Syms[i].Kind == prim.SymTemp {
+			continue
+		}
+		n := prog.Syms[i].Name
+		e.byName[n] = append(e.byName[n], prim.SymID(i))
+	}
+	return e
+}
+
+// NumSyms reports the snapshot's symbol count (for /statsz).
+func (e *Evaluator) NumSyms() int { return len(e.Prog.Syms) }
+
+// NumAssigns reports the snapshot's assignment count (for /statsz).
+func (e *Evaluator) NumAssigns() int { return len(e.Prog.Assigns) }
+
+// EvalBatch evaluates qs across the evaluator's workers, results in
+// query order. Individual query failures are reported inline in the
+// matching slot; the returned error is non-nil only when ctx fired, in
+// which case undispatched queries never ran.
+func (e *Evaluator) EvalBatch(ctx context.Context, qs []Query) ([]QueryResult, error) {
+	results := make([]QueryResult, len(qs))
+	err := parallel.ForEachCtx(ctx, e.Jobs, len(qs), func(i int) error {
+		results[i] = e.Eval(ctx, qs[i])
+		return nil
+	})
+	if err != nil {
+		return nil, claerr.New(claerr.PhaseQuery, err)
+	}
+	return results, nil
+}
+
+// Eval answers one query. Failures land in the result's Err field.
+func (e *Evaluator) Eval(ctx context.Context, q Query) QueryResult {
+	res := QueryResult{Kind: q.Kind}
+	var err error
+	switch q.Kind {
+	case "pointsto":
+		res.Objects, err = e.pointsTo(q.Name)
+	case "alias":
+		res.Alias, err = e.alias(q.X, q.Y)
+	case "callgraph":
+		res.Graph, err = e.callGraph()
+	case "modref":
+		res.ModRef, err = e.modRef(q.Func)
+	case "dependence":
+		res.Dependents, err = e.dependence(q)
+	case "lint":
+		res.Findings, err = e.lint(q.Checks)
+	default:
+		err = claerr.Newf(claerr.PhaseQuery, "unknown query kind %q", q.Kind)
+	}
+	if err != nil {
+		res = QueryResult{Kind: q.Kind, Err: errBody(err)}
+	}
+	_ = ctx
+	return res
+}
+
+// lookup resolves a source name to symbol ids, ascending.
+func (e *Evaluator) lookup(name string) ([]prim.SymID, error) {
+	if name == "" {
+		return nil, claerr.Newf(claerr.PhaseQuery, "missing object name")
+	}
+	ids := e.byName[name]
+	if len(ids) == 0 {
+		return nil, claerr.Newf(claerr.PhaseQuery, "no object named %q: %w", name, claerr.ErrNotFound)
+	}
+	return ids, nil
+}
+
+// object renders one symbol for the wire.
+func (e *Evaluator) object(id prim.SymID) Object {
+	s := &e.Prog.Syms[id]
+	o := Object{Name: s.Name, Kind: s.Kind.String(), Type: s.Type, Func: s.FuncName}
+	if !s.Loc.IsZero() {
+		o.Pos = s.Loc.String()
+	}
+	return o
+}
+
+// pointsTo unions the points-to sets of every object with the name,
+// sorted by symbol id (the order PointsToName uses).
+func (e *Evaluator) pointsTo(name string) ([]Object, error) {
+	ids, err := e.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	var union []prim.SymID
+	for _, id := range ids {
+		union = append(union, e.Res.PointsTo(id)...)
+	}
+	union = pts.SortSyms(union)
+	out := make([]Object, 0, len(union))
+	var prev prim.SymID = prim.NoSym
+	for _, z := range union {
+		if z == prev {
+			continue
+		}
+		prev = z
+		out = append(out, e.object(z))
+	}
+	return out, nil
+}
+
+// alias reports whether any object named x may alias any object named y.
+func (e *Evaluator) alias(x, y string) (*bool, error) {
+	xs, err := e.lookup(x)
+	if err != nil {
+		return nil, err
+	}
+	ys, err := e.lookup(y)
+	if err != nil {
+		return nil, err
+	}
+	v := false
+	for _, xi := range xs {
+		for _, yi := range ys {
+			if intersects(e.Res.PointsTo(xi), e.Res.PointsTo(yi)) {
+				v = true
+				break
+			}
+		}
+		if v {
+			break
+		}
+	}
+	return &v, nil
+}
+
+// intersects reports whether two sorted sets share an element.
+func intersects(a, b []prim.SymID) bool {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// checksReport runs all four checks once and shares the report.
+func (e *Evaluator) checksReport() (*checks.Report, error) {
+	e.checksOnce.Do(func() {
+		e.checksRep, e.checksErr = checks.Run(e.Prog, e.Res, checks.Options{Jobs: e.Jobs})
+		if e.checksErr != nil {
+			e.checksErr = claerr.New(claerr.PhaseLint, e.checksErr)
+		}
+	})
+	return e.checksRep, e.checksErr
+}
+
+func (e *Evaluator) callGraph() (*checks.Graph, error) {
+	rep, err := e.checksReport()
+	if err != nil {
+		return nil, err
+	}
+	return rep.Graph, nil
+}
+
+func (e *Evaluator) modRef(fn string) ([]ModRefEntry, error) {
+	rep, err := e.checksReport()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ModRefEntry, 0, len(rep.ModRef))
+	for _, s := range rep.ModRef {
+		if fn != "" && s.Func != fn {
+			continue
+		}
+		out = append(out, ModRefEntry{
+			Func: s.Func, Mod: s.Mod, Ref: s.Ref,
+			DirectMod: s.DirectMod, DirectRef: s.DirectRef,
+		})
+	}
+	if fn != "" && len(out) == 0 {
+		return nil, claerr.Newf(claerr.PhaseQuery, "no function named %q: %w", fn, claerr.ErrNotFound)
+	}
+	return out, nil
+}
+
+func (e *Evaluator) dependence(q Query) ([]DependEntry, error) {
+	targets, err := e.lookup(q.Target)
+	if err != nil {
+		return nil, err
+	}
+	opts := depend.Options{NonTargets: map[prim.SymID]bool{}, DropWeak: q.DropWeak}
+	for _, n := range q.NonTargets {
+		for _, id := range e.byName[strings.TrimSpace(n)] {
+			opts.NonTargets[id] = true
+		}
+	}
+	dres, err := depend.Analyze(e.Src, e.Res, targets, opts)
+	if err != nil {
+		return nil, claerr.New(claerr.PhaseQuery, err)
+	}
+	deps := dres.Dependents()
+	if q.Limit > 0 && len(deps) > q.Limit {
+		deps = deps[:q.Limit]
+	}
+	out := make([]DependEntry, 0, len(deps))
+	for _, d := range deps {
+		out = append(out, DependEntry{
+			Object:   e.object(d.Sym),
+			Strong:   d.Strength == prim.Strong,
+			Distance: d.Dist,
+			Chain:    dres.FormatChain(d.Sym),
+		})
+	}
+	return out, nil
+}
+
+func (e *Evaluator) lint(names []string) ([]Finding, error) {
+	selected := checks.AllChecks()
+	if len(names) > 0 {
+		var err error
+		selected, err = checks.ParseChecks(names)
+		if err != nil {
+			return nil, claerr.New(claerr.PhaseUsage, err)
+		}
+	}
+	rep, err := e.checksReport()
+	if err != nil {
+		return nil, err
+	}
+	want := map[checks.Check]bool{}
+	for _, c := range selected {
+		want[c] = true
+	}
+	out := []Finding{}
+	for _, d := range rep.Diags {
+		if !want[d.Check] {
+			continue
+		}
+		out = append(out, Finding{
+			Check: string(d.Check), File: d.Loc.File, Line: int(d.Loc.Line),
+			Func: d.Func, Message: d.Message,
+		})
+	}
+	return out, nil
+}
+
+// QueryNames returns every queryable object name, sorted — /statsz and
+// the benchmark harness use it to drive representative query mixes.
+func (e *Evaluator) QueryNames() []string {
+	names := make([]string, 0, len(e.byName))
+	for n := range e.byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

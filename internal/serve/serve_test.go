@@ -1,0 +1,412 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"cla/internal/claerr"
+	"cla/internal/driver"
+	"cla/internal/frontend"
+	"cla/internal/objfile"
+)
+
+// writeTestDir lays out a two-unit C program with a function pointer
+// (for the call graph), a heap-free alias pair and a dependence chain.
+func writeTestDir(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"a.c": `int g; int other;
+int *p, *q, *lone;
+int mirror;
+void set(void) { p = &g; q = &g; lone = &other; }
+void reflect(void) { mirror = g; }
+`,
+		"b.c": `extern int *p;
+int *r;
+void copy(void) { r = p; }
+void work(void) { copy(); }
+void (*fp)(void);
+void install(void) { fp = copy; }
+void dispatch(void) { fp(); }
+`,
+	}
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func openTestSession(t *testing.T, jobs int) *Session {
+	t.Helper()
+	dir := writeTestDir(t)
+	sess, err := Open(context.Background(), "test", dir, Config{Jobs: jobs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sess
+}
+
+// mixedQueries covers all six kinds.
+func mixedQueries() []Query {
+	return []Query{
+		{Kind: "pointsto", Name: "p"},
+		{Kind: "alias", X: "p", Y: "q"},
+		{Kind: "alias", X: "p", Y: "lone"},
+		{Kind: "callgraph"},
+		{Kind: "modref", Func: "set"},
+		{Kind: "dependence", Target: "g"},
+		{Kind: "lint"},
+	}
+}
+
+func TestEvalAllKinds(t *testing.T) {
+	sess := openTestSession(t, 1)
+	results, err := sess.Eval.EvalBatch(context.Background(), mixedQueries())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("query %d (%s): %s", i, r.Kind, r.Err.Message)
+		}
+	}
+	if len(results[0].Objects) != 1 || results[0].Objects[0].Name != "g" {
+		t.Errorf("pointsto(p) = %+v, want {g}", results[0].Objects)
+	}
+	if results[1].Alias == nil || !*results[1].Alias {
+		t.Error("alias(p, q) = false, want true")
+	}
+	if results[2].Alias == nil || *results[2].Alias {
+		t.Error("alias(p, lone) = true, want false")
+	}
+	if results[3].Graph == nil || len(results[3].Graph.Funcs) == 0 {
+		t.Error("callgraph empty")
+	}
+	if len(results[4].ModRef) != 1 || results[4].ModRef[0].Func != "set" {
+		t.Errorf("modref(set) = %+v", results[4].ModRef)
+	}
+	if len(results[5].Dependents) == 0 {
+		t.Error("dependence(g) found no dependents")
+	}
+}
+
+// TestDirAndFileAgree opens the same program as a source directory and as
+// a .cla database and expects byte-identical batch responses.
+func TestDirAndFileAgree(t *testing.T) {
+	dir := writeTestDir(t)
+	prog, err := driver.CompileDirObs(dir, frontend.Options{}, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	claPath := filepath.Join(t.TempDir(), "prog.cla")
+	if err := objfile.WriteFile(claPath, prog); err != nil {
+		t.Fatal(err)
+	}
+	fromDir, err := Open(context.Background(), "s", dir, Config{Jobs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromFile, err := Open(context.Background(), "s", claPath, Config{Jobs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := fromDir.Eval.EvalBatch(context.Background(), mixedQueries())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := fromFile.Eval.EvalBatch(context.Background(), mixedQueries())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(marshal(t, a), marshal(t, b)) {
+		t.Error("dir-backed and file-backed sessions disagree")
+	}
+}
+
+func marshal(t *testing.T, v any) []byte {
+	t.Helper()
+	out, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestBatchDeterminism requires byte-identical responses at -j 1 and
+// -j 8 — the repo-wide determinism contract applied to the serving layer.
+func TestBatchDeterminism(t *testing.T) {
+	dir := writeTestDir(t)
+	var outs [][]byte
+	for _, jobs := range []int{1, 8} {
+		sess, err := Open(context.Background(), "s", dir, Config{Jobs: jobs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A batch big enough to exercise real fan-out.
+		var qs []Query
+		for i := 0; i < 16; i++ {
+			qs = append(qs, mixedQueries()...)
+		}
+		results, err := sess.Eval.EvalBatch(context.Background(), qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs = append(outs, marshal(t, results))
+	}
+	if !bytes.Equal(outs[0], outs[1]) {
+		t.Error("responses differ between -j 1 and -j 8")
+	}
+}
+
+// TestConcurrentMixedQueries fires mixed batches at one session from many
+// goroutines; run under -race this is the serving layer's thread-safety
+// proof.
+func TestConcurrentMixedQueries(t *testing.T) {
+	sess := openTestSession(t, 4)
+	base, err := sess.Eval.EvalBatch(context.Background(), mixedQueries())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := marshal(t, base)
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				results, err := sess.Eval.EvalBatch(context.Background(), mixedQueries())
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				if !bytes.Equal(want, marshal(t, results)) {
+					errs[g] = errors.New("concurrent response differs")
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestBatchCancellation(t *testing.T) {
+	sess := openTestSession(t, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := sess.Eval.EvalBatch(ctx, mixedQueries())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("EvalBatch(canceled ctx) = %v, want context.Canceled", err)
+	}
+	if claerr.HTTPStatus(err) != 499 {
+		t.Errorf("HTTPStatus = %d, want 499", claerr.HTTPStatus(err))
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	sess := openTestSession(t, 1)
+	ctx := context.Background()
+	r := sess.Eval.Eval(ctx, Query{Kind: "pointsto", Name: "nosuch"})
+	if r.Err == nil || r.Err.Status != http.StatusNotFound {
+		t.Errorf("pointsto(nosuch) = %+v, want 404", r.Err)
+	}
+	r = sess.Eval.Eval(ctx, Query{Kind: "frobnicate"})
+	if r.Err == nil || r.Err.Status != http.StatusBadRequest {
+		t.Errorf("unknown kind = %+v, want 400", r.Err)
+	}
+	r = sess.Eval.Eval(ctx, Query{Kind: "lint", Checks: []string{"nosuchcheck"}})
+	if r.Err == nil || r.Err.Status != http.StatusBadRequest {
+		t.Errorf("bad check = %+v, want 400", r.Err)
+	}
+}
+
+func newTestServer(t *testing.T, jobs int) *Server {
+	t.Helper()
+	reg := NewRegistry()
+	reg.Add(openTestSession(t, jobs))
+	return NewServer(reg, ServerConfig{Jobs: jobs})
+}
+
+func get(t *testing.T, h http.Handler, url string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", url, nil))
+	return rec
+}
+
+func TestHTTPEndpoints(t *testing.T) {
+	s := newTestServer(t, 2)
+	h := s.Handler()
+
+	if rec := get(t, h, "/healthz"); rec.Code != 200 || !strings.HasPrefix(rec.Body.String(), "ok") {
+		t.Errorf("healthz = %d %q", rec.Code, rec.Body.String())
+	}
+	if rec := get(t, h, "/v1/sessions"); rec.Code != 200 || !strings.Contains(rec.Body.String(), `"test"`) {
+		t.Errorf("sessions = %d %q", rec.Code, rec.Body.String())
+	}
+
+	rec := get(t, h, "/v1/pointsto?name=p")
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), `"name": "g"`) {
+		t.Errorf("pointsto = %d %q", rec.Code, rec.Body.String())
+	}
+	if rec := get(t, h, "/v1/pointsto?name=nosuch"); rec.Code != 404 {
+		t.Errorf("pointsto(nosuch) = %d, want 404", rec.Code)
+	}
+	if rec := get(t, h, "/v1/alias?x=p&y=q"); rec.Code != 200 || !strings.Contains(rec.Body.String(), `"alias": true`) {
+		t.Errorf("alias = %d %q", rec.Code, rec.Body.String())
+	}
+	if rec := get(t, h, "/v1/callgraph"); rec.Code != 200 || !strings.Contains(rec.Body.String(), "dispatch") {
+		t.Errorf("callgraph = %d", rec.Code)
+	}
+	if rec := get(t, h, "/v1/modref?func=set"); rec.Code != 200 || !strings.Contains(rec.Body.String(), `"func": "set"`) {
+		t.Errorf("modref = %d %q", rec.Code, rec.Body.String())
+	}
+	if rec := get(t, h, "/v1/dependence?target=g&limit=5"); rec.Code != 200 {
+		t.Errorf("dependence = %d %q", rec.Code, rec.Body.String())
+	}
+	if rec := get(t, h, "/v1/lint?checks=deref,escape"); rec.Code != 200 {
+		t.Errorf("lint = %d %q", rec.Code, rec.Body.String())
+	}
+	if rec := get(t, h, "/v1/dependence?target=g&limit=bogus"); rec.Code != 400 {
+		t.Errorf("bad limit = %d, want 400", rec.Code)
+	}
+	if rec := get(t, h, "/v1/pointsto?name=p&session=nosuch"); rec.Code != 404 {
+		t.Errorf("bad session = %d, want 404", rec.Code)
+	}
+
+	// statsz reflects the traffic above.
+	rec = get(t, h, "/statsz")
+	var stats struct {
+		Sessions []struct {
+			Name string `json:"name"`
+			Syms int    `json:"syms"`
+		} `json:"sessions"`
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Sessions) != 1 || stats.Sessions[0].Name != "test" || stats.Sessions[0].Syms == 0 {
+		t.Errorf("statsz sessions = %+v", stats.Sessions)
+	}
+	if stats.Counters["serve.requests"] == 0 || stats.Counters["serve.errors"] == 0 {
+		t.Errorf("statsz counters = %v", stats.Counters)
+	}
+}
+
+func TestHTTPBatch(t *testing.T) {
+	s := newTestServer(t, 2)
+	body := marshal(t, Request{Queries: mixedQueries()})
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("POST", "/v1/query", bytes.NewReader(body)))
+	if rec.Code != 200 {
+		t.Fatalf("batch = %d %q", rec.Code, rec.Body.String())
+	}
+	var resp Response
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Session != "test" || len(resp.Results) != len(mixedQueries()) {
+		t.Fatalf("batch response = %+v", resp)
+	}
+	for i, r := range resp.Results {
+		if r.Err != nil {
+			t.Errorf("query %d (%s): %s", i, r.Kind, r.Err.Message)
+		}
+	}
+
+	// Malformed body and empty batch are usage errors.
+	rec = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("POST", "/v1/query", strings.NewReader("{nope")))
+	if rec.Code != 400 {
+		t.Errorf("bad body = %d, want 400", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("POST", "/v1/query", strings.NewReader(`{"queries":[]}`)))
+	if rec.Code != 400 {
+		t.Errorf("empty batch = %d, want 400", rec.Code)
+	}
+}
+
+// TestClientDisconnectAbortsBatch proves an in-flight batch aborts when
+// the client goes away: the request context reaches the evaluation
+// fan-out, so a canceled request yields 499 instead of a full answer.
+func TestClientDisconnectAbortsBatch(t *testing.T) {
+	s := newTestServer(t, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // the client is already gone
+	var qs []Query
+	for i := 0; i < 64; i++ {
+		qs = append(qs, Query{Kind: "pointsto", Name: "p"})
+	}
+	req := httptest.NewRequest("POST", "/v1/query", bytes.NewReader(marshal(t, Request{Queries: qs})))
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req.WithContext(ctx))
+	if rec.Code != 499 {
+		t.Fatalf("canceled batch = %d %q, want 499", rec.Code, rec.Body.String())
+	}
+}
+
+func TestDeadline(t *testing.T) {
+	reg := NewRegistry()
+	reg.Add(openTestSession(t, 1))
+	s := NewServer(reg, ServerConfig{Deadline: 1}) // 1ns: every request expires
+	rec := httptest.NewRecorder()
+	body := marshal(t, Request{Queries: mixedQueries()})
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("POST", "/v1/query", bytes.NewReader(body)))
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("expired deadline = %d %q, want 504", rec.Code, rec.Body.String())
+	}
+}
+
+func TestDrainFlipsHealth(t *testing.T) {
+	s := newTestServer(t, 1)
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	rec := get(t, s.Handler(), "/healthz")
+	if rec.Code != http.StatusServiceUnavailable || !strings.HasPrefix(rec.Body.String(), "draining") {
+		t.Errorf("healthz after shutdown = %d %q, want 503 draining", rec.Code, rec.Body.String())
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	reg := NewRegistry()
+	if _, err := reg.Get(""); err == nil {
+		t.Error("empty registry accepted")
+	}
+	a := openTestSession(t, 1)
+	a.Name = "a"
+	reg.Add(a)
+	if s, err := reg.Get(""); err != nil || s.Name != "a" {
+		t.Errorf("sole-session Get = %v, %v", s, err)
+	}
+	b := &Session{Name: "b", Eval: a.Eval}
+	reg.Add(b)
+	if _, err := reg.Get(""); err == nil {
+		t.Error("ambiguous empty name accepted")
+	}
+	if _, err := reg.Get("nosuch"); !errors.Is(err, claerr.ErrNotFound) {
+		t.Errorf("Get(nosuch) = %v, want ErrNotFound", err)
+	}
+	if names := reg.Names(); len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("Names = %v", names)
+	}
+}

@@ -1,0 +1,253 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"cla/internal/claerr"
+	"cla/internal/obs"
+)
+
+// ServerConfig controls request handling.
+type ServerConfig struct {
+	// Jobs bounds batch fan-out per request (0 = all cores).
+	Jobs int
+	// Deadline caps each request's evaluation time (0 = no deadline).
+	// The client's disconnect cancels evaluation either way.
+	Deadline time.Duration
+	// Obs backs /statsz; a fresh observer is created when nil.
+	Obs *obs.Observer
+}
+
+// Server serves the query API over HTTP. Routes:
+//
+//	GET  /healthz                    liveness ("ok", or "draining" + 503)
+//	GET  /statsz                     sessions + observer counters/gauges
+//	GET  /v1/sessions                registered session names
+//	POST /v1/query                   batched Request -> Response
+//	GET  /v1/pointsto?name=          single-query conveniences; all accept
+//	GET  /v1/alias?x=&y=             &session= to pick a snapshot
+//	GET  /v1/callgraph
+//	GET  /v1/modref?func=
+//	GET  /v1/dependence?target=&nontarget=&dropweak=&limit=
+//	GET  /v1/lint?checks=
+type Server struct {
+	Sessions *Registry
+
+	cfg      ServerConfig
+	o        *obs.Observer
+	mux      *http.ServeMux
+	http     *http.Server
+	draining atomic.Bool
+	inflight atomic.Int64
+}
+
+// NewServer builds a server over a session registry.
+func NewServer(reg *Registry, cfg ServerConfig) *Server {
+	o := cfg.Obs
+	if o == nil {
+		o = obs.New()
+	}
+	s := &Server{Sessions: reg, cfg: cfg, o: o, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
+	s.mux.HandleFunc("GET /v1/sessions", s.handleSessions)
+	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
+	for _, kind := range []string{"pointsto", "alias", "callgraph", "modref", "dependence", "lint"} {
+		s.mux.HandleFunc("GET /v1/"+kind, s.singleHandler(kind))
+	}
+	s.http = &http.Server{Handler: s.mux}
+	return s
+}
+
+// Handler exposes the route table (for tests via httptest).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serve accepts connections on ln until Shutdown. It returns
+// http.ErrServerClosed after a clean shutdown, like net/http.
+func (s *Server) Serve(ln net.Listener) error {
+	return s.http.Serve(ln)
+}
+
+// Shutdown drains the server gracefully: /healthz flips to 503 so load
+// balancers stop routing, in-flight requests run to completion (or until
+// ctx fires), and new connections are refused.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.http.SetKeepAlivesEnabled(false)
+	return s.http.Shutdown(ctx)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// statszBody is the /statsz response shape.
+type statszBody struct {
+	Sessions []statszSession  `json:"sessions"`
+	Counters map[string]int64 `json:"counters"`
+	Gauges   map[string]int64 `json:"gauges"`
+}
+
+// metricMap renders observer metrics for JSON.
+func metricMap(ms []obs.Metric) map[string]int64 {
+	out := make(map[string]int64, len(ms))
+	for _, m := range ms {
+		out[m.Name] = m.Value
+	}
+	return out
+}
+
+type statszSession struct {
+	Name    string `json:"name"`
+	Path    string `json:"path"`
+	Syms    int    `json:"syms"`
+	Assigns int    `json:"assigns"`
+	Created string `json:"created"`
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	body := statszBody{
+		Sessions: []statszSession{},
+		Counters: metricMap(s.o.Counters()),
+		Gauges:   metricMap(s.o.Gauges()),
+	}
+	for _, name := range s.Sessions.Names() {
+		sess, err := s.Sessions.Get(name)
+		if err != nil {
+			continue
+		}
+		body.Sessions = append(body.Sessions, statszSession{
+			Name:    sess.Name,
+			Path:    sess.Path,
+			Syms:    sess.Eval.NumSyms(),
+			Assigns: sess.Eval.NumAssigns(),
+			Created: sess.Created.UTC().Format(time.RFC3339),
+		})
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]string{"sessions": s.Sessions.Names()})
+}
+
+// handleQuery answers the batched POST /v1/query endpoint.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	s.o.Counter("serve.requests").Add(1)
+	var req Request
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.fail(w, claerr.Newf(claerr.PhaseUsage, "bad request body: %v", err))
+		return
+	}
+	if len(req.Queries) == 0 {
+		s.fail(w, claerr.Newf(claerr.PhaseUsage, "empty query batch"))
+		return
+	}
+	sess, err := s.Sessions.Get(req.Session)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	s.o.Counter("serve.queries").Add(int64(len(req.Queries)))
+	s.o.Gauge("serve.inflight").Set(s.inflight.Add(int64(len(req.Queries))))
+	results, err := sess.Eval.EvalBatch(ctx, req.Queries)
+	s.o.Gauge("serve.inflight").Set(s.inflight.Add(-int64(len(req.Queries))))
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, Response{Session: sess.Name, Results: results})
+}
+
+// singleHandler adapts one query kind to GET with URL parameters.
+func (s *Server) singleHandler(kind string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.o.Counter("serve.requests").Add(1)
+		s.o.Counter("serve.queries").Add(1)
+		v := r.URL.Query()
+		q := Query{
+			Kind:   kind,
+			Name:   v.Get("name"),
+			X:      v.Get("x"),
+			Y:      v.Get("y"),
+			Func:   v.Get("func"),
+			Target: v.Get("target"),
+		}
+		if nts := v["nontarget"]; len(nts) > 0 {
+			q.NonTargets = nts
+		}
+		if v.Get("dropweak") != "" {
+			q.DropWeak = true
+		}
+		if lim := v.Get("limit"); lim != "" {
+			n, err := strconv.Atoi(lim)
+			if err != nil || n < 0 {
+				s.fail(w, claerr.Newf(claerr.PhaseUsage, "bad limit %q", lim))
+				return
+			}
+			q.Limit = n
+		}
+		if cs := v.Get("checks"); cs != "" {
+			q.Checks = strings.Split(cs, ",")
+		}
+		sess, err := s.Sessions.Get(v.Get("session"))
+		if err != nil {
+			s.fail(w, err)
+			return
+		}
+		ctx, cancel := s.requestCtx(r)
+		defer cancel()
+		res := sess.Eval.Eval(ctx, q)
+		if res.Err != nil {
+			s.o.Counter("serve.errors").Add(1)
+			writeJSON(w, res.Err.Status, res)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	}
+}
+
+// requestCtx derives the evaluation context: the client's own request
+// context (so a disconnect cancels evaluation) plus the configured
+// server-side deadline.
+func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	ctx := r.Context()
+	if s.cfg.Deadline > 0 {
+		return context.WithTimeout(ctx, s.cfg.Deadline)
+	}
+	return context.WithCancel(ctx)
+}
+
+// fail writes a request-level typed error.
+func (s *Server) fail(w http.ResponseWriter, err error) {
+	s.o.Counter("serve.errors").Add(1)
+	body := errBody(err)
+	writeJSON(w, body.Status, map[string]*ErrorBody{"error": body})
+}
+
+// writeJSON renders v with a trailing newline (curl-friendly).
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

@@ -1,0 +1,139 @@
+package serve
+
+import (
+	"context"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"cla/internal/claerr"
+	"cla/internal/core"
+	"cla/internal/driver"
+	"cla/internal/frontend"
+	"cla/internal/objfile"
+	"cla/internal/obs"
+	"cla/internal/prim"
+	"cla/internal/pts"
+)
+
+// Config controls how a session's snapshot is built.
+type Config struct {
+	// Solver selects the points-to algorithm (default PreTransitive).
+	Solver driver.Solver
+	// Jobs bounds compile fan-out, the solve and later batch queries.
+	Jobs int
+	// Includes are extra directories searched for #include files when the
+	// session path is a source directory.
+	Includes []string
+	// Obs, when non-nil, records the build phases and solver counters.
+	Obs *obs.Observer
+}
+
+// Session is one analyzed snapshot held by the server.
+type Session struct {
+	// Name addresses the session in requests.
+	Name string
+	// Path is the .cla database or source directory it was built from.
+	Path string
+	// Eval answers queries against the snapshot.
+	Eval *Evaluator
+	// Created is when the snapshot finished building.
+	Created time.Time
+}
+
+// Open builds a session from path: a directory is compiled and linked
+// (dir plus cfg.Includes on the include path), a .cla file is read
+// whole. Either way the full program is materialized in memory and
+// solved, so the resulting Evaluator has no mutable demand-load state
+// and serves concurrent queries safely.
+func Open(ctx context.Context, name, path string, cfg Config) (*Session, error) {
+	prog, err := load(ctx, path, cfg)
+	if err != nil {
+		return nil, err
+	}
+	src := pts.NewMemSource(prog)
+	ccfg := core.DefaultConfig()
+	ccfg.Jobs = cfg.Jobs
+	res, err := driver.AnalyzeObsCtx(ctx, src, cfg.Solver, ccfg, cfg.Obs)
+	if err != nil {
+		return nil, claerr.File(claerr.PhaseAnalyze, path, err)
+	}
+	return &Session{
+		Name:    name,
+		Path:    path,
+		Eval:    NewEvaluator(prog, src, res, cfg.Jobs),
+		Created: time.Now(),
+	}, nil
+}
+
+func load(ctx context.Context, path string, cfg Config) (*prim.Program, error) {
+	if strings.HasSuffix(path, ".cla") {
+		r, err := objfile.Open(path)
+		if err != nil {
+			return nil, claerr.File(claerr.PhaseObject, path, err)
+		}
+		defer r.Close()
+		prog, err := r.Program()
+		if err != nil {
+			return nil, claerr.File(claerr.PhaseObject, path, err)
+		}
+		return prog, nil
+	}
+	prog, err := driver.CompileDirCtx(ctx, path, cfg.Includes, frontend.Options{}, cfg.Jobs, cfg.Obs)
+	if err != nil {
+		return nil, claerr.New(claerr.PhaseCompile, err)
+	}
+	return prog, nil
+}
+
+// Registry is the server's session table. Concurrent-safe.
+type Registry struct {
+	mu       sync.RWMutex
+	sessions map[string]*Session
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{sessions: make(map[string]*Session)}
+}
+
+// Add registers s, replacing any session with the same name.
+func (r *Registry) Add(s *Session) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sessions[s.Name] = s
+}
+
+// Get resolves a session name. The empty name selects the registry's
+// only session; it is an error when none or several are registered.
+// Unknown names wrap ErrNotFound.
+func (r *Registry) Get(name string) (*Session, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if name == "" {
+		if len(r.sessions) == 1 {
+			for _, s := range r.sessions {
+				return s, nil
+			}
+		}
+		return nil, claerr.Newf(claerr.PhaseQuery, "session name required (%d sessions registered)", len(r.sessions))
+	}
+	s, ok := r.sessions[name]
+	if !ok {
+		return nil, claerr.Newf(claerr.PhaseQuery, "no session named %q: %w", name, claerr.ErrNotFound)
+	}
+	return s, nil
+}
+
+// Names lists the registered sessions, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.sessions))
+	for n := range r.sessions {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -5,6 +5,8 @@ import (
 	"io"
 
 	"cla/internal/checks"
+	"cla/internal/claerr"
+	"cla/internal/prim"
 )
 
 // LintOptions configures an Analysis.Lint run.
@@ -111,24 +113,33 @@ func (a *Analysis) Lint(opts *LintOptions) (*LintReport, error) {
 	if opts != nil {
 		cs, err := checks.ParseChecks(opts.Checks)
 		if err != nil {
-			return nil, err
+			return nil, claerr.New(claerr.PhaseUsage, err)
 		}
 		copts.Checks = cs
 		copts.Jobs = opts.Jobs
 	}
-	prog := a.db.prog
-	if a.r != nil {
-		// File-backed analyses materialize symbols only; the checks need
-		// the assignments and call sites too.
-		full, err := a.r.Program()
-		if err != nil {
-			return nil, err
-		}
-		prog = full
-	}
-	rep, err := checks.Run(prog, a.res, copts)
+	prog, err := a.fullProgram()
 	if err != nil {
 		return nil, err
 	}
+	rep, err := checks.Run(prog, a.res, copts)
+	if err != nil {
+		return nil, claerr.New(claerr.PhaseLint, err)
+	}
 	return &LintReport{rep: rep}, nil
+}
+
+// fullProgram returns the complete database behind the analysis. In-memory
+// analyses already hold it; file-backed ones materialize symbols only, so
+// the assignments and call sites (which the checks and the query evaluator
+// need) are read from the file on first use.
+func (a *Analysis) fullProgram() (*prim.Program, error) {
+	if a.r == nil {
+		return a.db.prog, nil
+	}
+	full, err := a.r.Program()
+	if err != nil {
+		return nil, claerr.New(claerr.PhaseObject, err)
+	}
+	return full, nil
 }

@@ -1,0 +1,109 @@
+package cla
+
+import (
+	"context"
+	"net"
+	"time"
+
+	"cla/internal/pts"
+	"cla/internal/serve"
+)
+
+// Query is one sub-query of a batched query-API call: set Kind to
+// "pointsto", "alias", "callgraph", "modref", "dependence" or "lint" and
+// fill the matching parameter fields. The same shape is the wire format
+// of claserve's POST /v1/query, so in-process callers and HTTP clients
+// speak one protocol.
+type Query = serve.Query
+
+// QueryResult is one Query's answer; its Err field carries a per-query
+// typed-error body instead of failing the whole batch.
+type QueryResult = serve.QueryResult
+
+// QueryError is the wire form of a typed error inside a QueryResult:
+// the failing phase, the HTTP status it maps to, and the message.
+type QueryError = serve.ErrorBody
+
+// evalState is the lazily built query evaluator shared by Analysis.Query
+// and Serve.
+type evalState = serve.Evaluator
+
+// evaluator builds the evaluator on first use. File-backed analyses
+// materialize the full program into memory so queries never touch the
+// reader's mutable demand-load state and are safe to run concurrently.
+func (a *Analysis) evaluator() (*evalState, error) {
+	a.evOnce.Do(func() {
+		prog, err := a.fullProgram()
+		if err != nil {
+			a.evErr = err
+			return
+		}
+		src := a.src
+		if a.r != nil {
+			src = pts.NewMemSource(prog)
+		}
+		a.ev = serve.NewEvaluator(prog, src, a.res, 0)
+	})
+	return a.ev, a.evErr
+}
+
+// Query evaluates a batch of queries against the analysis, results in
+// query order. Individual query failures are reported inline in the
+// matching result's Err field; the returned error is non-nil only when
+// the batch as a whole could not run (evaluator construction failed or
+// ctx fired). Safe for concurrent use.
+func (a *Analysis) Query(ctx context.Context, queries []Query) ([]QueryResult, error) {
+	ev, err := a.evaluator()
+	if err != nil {
+		return nil, err
+	}
+	return ev.EvalBatch(ctx, queries)
+}
+
+// ServeOptions configures Serve.
+type ServeOptions struct {
+	// SessionName names the served snapshot in requests and responses
+	// (default "default").
+	SessionName string
+	// Deadline caps each request's evaluation time (0 = none).
+	Deadline time.Duration
+	// Observer, when non-nil, backs the server's /statsz endpoint.
+	Observer *Observer
+}
+
+// QueryServer is a running query server; see Serve.
+type QueryServer = serve.Server
+
+// NewQueryServer builds (without starting) a query server over the
+// analysis, exposing the same HTTP API as the claserve command:
+// /healthz, /statsz, POST /v1/query and the per-kind GET endpoints.
+// Start it with Serve(ln) and stop it with Shutdown.
+func NewQueryServer(a *Analysis, opts *ServeOptions) (*QueryServer, error) {
+	ev, err := a.evaluator()
+	if err != nil {
+		return nil, err
+	}
+	name := "default"
+	var cfg serve.ServerConfig
+	if opts != nil {
+		if opts.SessionName != "" {
+			name = opts.SessionName
+		}
+		cfg.Deadline = opts.Deadline
+		cfg.Obs = opts.Observer.internal()
+	}
+	reg := serve.NewRegistry()
+	reg.Add(&serve.Session{Name: name, Eval: ev, Created: time.Now()})
+	return serve.NewServer(reg, cfg), nil
+}
+
+// Serve runs a query server over the analysis on ln until the listener
+// closes or the server is shut down. It is the in-process mirror of the
+// claserve command.
+func Serve(ln net.Listener, a *Analysis, opts *ServeOptions) error {
+	srv, err := NewQueryServer(a, opts)
+	if err != nil {
+		return err
+	}
+	return srv.Serve(ln)
+}
