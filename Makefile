@@ -22,11 +22,11 @@ test:
 vet:
 	$(GO) vet ./...
 
-# Race extras: the parallel pipeline, the checks engine, the shared set
-# layer and the query-serving layer must stay race-clean and
-# deterministic at any -j.
+# Race extras: the parallel pipeline, the wave fixpoints, the checks
+# engine, the shared set layer and the query-serving layer must stay
+# race-clean and deterministic at any -j.
 race:
-	$(GO) test -race ./internal/core ./internal/driver ./internal/linker ./internal/parallel ./internal/checks ./internal/pts/set ./internal/serve
+	$(GO) test -race ./internal/core ./internal/driver ./internal/linker ./internal/parallel ./internal/pts/worklist ./internal/checks ./internal/pts/set ./internal/serve
 
 check: build fmt vet test race
 

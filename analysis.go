@@ -48,7 +48,9 @@ type AnalyzeOptions struct {
 	NoCycleElim bool
 	// NoDemandLoad loads the whole database upfront (ablation).
 	NoDemandLoad bool
-	// Jobs bounds the workers used to materialize final points-to sets
+	// Jobs bounds the workers used by the solve phase itself (the
+	// pre-transitive and worklist solvers run their phase-parallel wave
+	// fixpoint when Jobs >= 2) and to materialize final points-to sets
 	// after solving (0 = all available cores, 1 = sequential). Results
 	// are identical at every setting.
 	Jobs int
@@ -164,7 +166,11 @@ func solveAlg(ctx context.Context, src pts.Source, opts *AnalyzeOptions, alg Alg
 	case PreTransitive:
 		return core.SolveCtx(ctx, src, opts.coreConfig())
 	case WorklistAndersen:
-		return worklist.SolveCtx(ctx, src)
+		jobs := 0
+		if opts != nil {
+			jobs = opts.Jobs
+		}
+		return worklist.SolveJobsCtx(ctx, src, jobs)
 	case SteensgaardUnify:
 		return steens.Solve(src)
 	case BitVectorAndersen:

@@ -53,8 +53,10 @@ type Options struct {
 	// them.
 	ModelStrings bool
 	// Jobs bounds the workers used to compile translation units and link
-	// their databases (0 = all available cores, 1 = sequential). The
-	// output is identical at every setting.
+	// their databases (0 = all available cores, 1 = sequential). When an
+	// analysis runs on the result, the same setting selects the solve
+	// phase's phase-parallel wave fixpoint (Jobs >= 2). The output is
+	// identical at every setting.
 	Jobs int
 	// Observer, when non-nil, records per-phase timings and counters for
 	// the compile and link work (see NewObserver).

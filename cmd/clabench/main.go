@@ -13,6 +13,7 @@
 //	clabench -table 9                    # analysis clients (clalint checks)
 //	clabench -table 10                   # set machinery: time/alloc/live per solver
 //	clabench -table 11 -j 8              # query serving: qps + latency percentiles
+//	clabench -table 12                   # phase-parallel wave fixpoint: seq vs wave solve
 //	clabench -all                        # everything
 //
 // Absolute times depend on the host; the shapes (who wins, by what
@@ -44,13 +45,14 @@ func main() {
 		checksOut = flag.String("checks-json", "BENCH_checks.json", "file recording the analysis-client rows (empty to skip)")
 		setsOut   = flag.String("sets-json", "BENCH_sets.json", "file recording the set-machinery rows (empty to skip)")
 		serveOut  = flag.String("serve-json", "BENCH_serve.json", "file recording the query-serving rows (empty to skip)")
+		solveOut  = flag.String("solve-json", "BENCH_solve.json", "file recording the wave-fixpoint rows (empty to skip)")
 		queries   = flag.Int("queries", 2000, "queries per workload for the query-serving table")
 	)
 	obsFlags := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
 
-	if !*all && (*table < 2 || *table > 11) {
-		fmt.Fprintln(os.Stderr, "clabench: pass -all or -table 2..11")
+	if !*all && (*table < 2 || *table > 12) {
+		fmt.Fprintln(os.Stderr, "clabench: pass -all or -table 2..12")
 		os.Exit(2)
 	}
 	o := obsFlags.Observer()
@@ -64,7 +66,7 @@ func main() {
 	need := func(t int) bool { return *all || *table == t }
 
 	var workloads []*bench.Workload
-	if need(2) || need(3) || need(4) || need(6) || need(7) || need(9) || need(10) || need(11) {
+	if need(2) || need(3) || need(4) || need(6) || need(7) || need(9) || need(10) || need(11) || need(12) {
 		fmt.Fprintf(os.Stderr, "clabench: building %d workloads at scale %g...\n",
 			len(gen.Table2), *scale)
 		bsp := span("build workloads")
@@ -248,6 +250,25 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Fprintf(os.Stderr, "clabench: wrote %s\n", *serveOut)
+		}
+		tsp.End()
+	}
+	if need(12) {
+		tsp := span("table 12")
+		fmt.Println("== Phase-parallel wave fixpoint: sequential vs wave solve (-j 1/2/4/8) ==")
+		rows, err := bench.RunSolveAll(workloads, bench.SolveJobs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "clabench: %v\n", err)
+			os.Exit(1)
+		}
+		bench.FormatSolve(os.Stdout, rows)
+		if *solveOut != "" {
+			meta := bench.NewMeta("parallel-solve", *jobs, *scale, *seed)
+			if err := bench.WriteSolveJSON(*solveOut, rows, meta); err != nil {
+				fmt.Fprintf(os.Stderr, "clabench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "clabench: wrote %s\n", *solveOut)
 		}
 		tsp.End()
 	}

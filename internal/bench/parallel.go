@@ -108,9 +108,14 @@ func RunParallel(p gen.Profile, scale float64, seed int64, jobs int) (RowParalle
 	}
 	row.ParAnalyze = time.Since(start)
 
+	// Full Metrics are not compared: -j >= 2 selects the wave fixpoint,
+	// whose schedule-dependent counters (passes, cache hits, ...)
+	// legitimately differ from the sequential reference. The analysis
+	// outcome — every points-to set and the outcome metrics — must match.
 	n := len(seqDB.Syms)
+	sm, pm := seqRes.Metrics(), parRes.Metrics()
 	if setsDigest(n, seqRes) != setsDigest(n, parRes) ||
-		seqRes.Metrics() != parRes.Metrics() {
+		sm.PointerVars != pm.PointerVars || sm.Relations != pm.Relations {
 		row.Identical = false
 	}
 

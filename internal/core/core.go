@@ -48,9 +48,12 @@ type Config struct {
 	DemandLoad bool
 	// MaxPasses bounds the outer fixpoint (safety net; 0 = 1<<20).
 	MaxPasses int
-	// Jobs bounds the worker count for the post-fixpoint snapshot build
-	// and batch result queries (<= 0 means GOMAXPROCS). The fixpoint
-	// itself is always single-threaded.
+	// Jobs bounds the worker count for the solve phase, the
+	// post-fixpoint snapshot build and batch result queries (<= 0 means
+	// GOMAXPROCS). Jobs >= 2 selects the phase-parallel wave fixpoint
+	// (see wave.go); Jobs <= 1 keeps the sequential reference fixpoint.
+	// Both compute the same unique least fixpoint, so the points-to
+	// relation is identical at any setting.
 	Jobs int
 }
 
@@ -208,14 +211,44 @@ func SolveCtx(ctx context.Context, src pts.Source, cfg Config) (*Result, error) 
 		return nil, err
 	}
 
-	// The iteration algorithm (Figure 5).
+	// The iteration algorithm (Figure 5). With jobs >= 2 the passes run
+	// as barrier-synchronized waves over the condensation DAG (see
+	// wave.go); both paths reach the same unique least fixpoint, so the
+	// points-to relation is byte-identical either way.
+	if cfg.Jobs >= 2 {
+		err = s.solveWaves(ctx)
+	} else {
+		err = s.solveSeq(ctx)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	// Nothing mutates the graph after convergence: freeze it into the
+	// read-only snapshot (skip chains resolved, all lval sets
+	// materialized across cfg.Jobs workers) and drop the fixpoint
+	// scratch. Every Result query from here on is a lock-free lookup.
+	s.pass++
+	s.snap = s.buildSnapshot()
+	s.releaseScratch()
+	s.m.InCore = len(s.complex)
+	s.m.InFile = pts.TotalAssigns(src)
+	res := &Result{s: s}
+	res.fillMetrics()
+	return res, nil
+}
+
+// solveSeq is the sequential reference fixpoint: one pass applies every
+// in-core complex assignment against the mutable graph (reachability via
+// getLvals, cycle unification, per-pass caching) until nothing changes.
+func (s *Solver) solveSeq(ctx context.Context) error {
 	for {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return err
 		}
 		s.pass++
-		if int(s.pass) > cfg.MaxPasses {
-			return nil, fmt.Errorf("core: no convergence after %d passes", cfg.MaxPasses)
+		if int(s.pass) > s.cfg.MaxPasses {
+			return fmt.Errorf("core: no convergence after %d passes", s.cfg.MaxPasses)
 		}
 		s.m.Passes++
 		s.changed = false
@@ -224,7 +257,7 @@ func SolveCtx(ctx context.Context, src pts.Source, cfg Config) (*Result, error) 
 		for i := 0; i < len(s.complex); i++ {
 			if i&0xff == 0xff {
 				if err := ctx.Err(); err != nil {
-					return nil, err
+					return err
 				}
 			}
 			ca := s.complex[i]
@@ -242,34 +275,21 @@ func SolveCtx(ctx context.Context, src pts.Source, cfg Config) (*Result, error) 
 				}
 			}
 			if err := s.drainLoads(); err != nil {
-				return nil, err
+				return err
 			}
 		}
 
 		if err := s.funcPtrPass(); err != nil {
-			return nil, err
+			return err
 		}
 		if err := s.drainLoads(); err != nil {
-			return nil, err
+			return err
 		}
 
 		if !s.changed {
-			break
+			return nil
 		}
 	}
-
-	// Nothing mutates the graph after convergence: freeze it into the
-	// read-only snapshot (skip chains resolved, all lval sets
-	// materialized across cfg.Jobs workers) and drop the fixpoint
-	// scratch. Every Result query from here on is a lock-free lookup.
-	s.pass++
-	s.snap = s.buildSnapshot()
-	s.releaseScratch()
-	s.m.InCore = len(s.complex)
-	s.m.InFile = pts.TotalAssigns(src)
-	res := &Result{s: s}
-	res.fillMetrics()
-	return res, nil
 }
 
 // releaseScratch frees the traversal state the snapshot supersedes,

@@ -4,6 +4,7 @@ import (
 	"cla/internal/parallel"
 	"cla/internal/prim"
 	"cla/internal/pts/set"
+	"cla/internal/scc"
 )
 
 // This file implements the read-only snapshot query mode. During the
@@ -30,32 +31,23 @@ func (sn *snapshot) lvals(n int32) []prim.SymID {
 	return sn.sets[sn.comp[sn.rep[n]]]
 }
 
-// buildSnapshot freezes the solver's graph. Called once, after the
-// fixpoint, while the solver is still single-threaded.
-func (s *Solver) buildSnapshot() *snapshot {
+// condensedAdj builds the condensed adjacency per representative:
+// out-edges mapped through rep, deduped, self-loops dropped — the input
+// contract of scc.Condense.
+func (s *Solver) condensedAdj(rep []int32) [][]int32 {
 	n := len(s.nodes)
-	sn := &snapshot{
-		rep:  make([]int32, n),
-		comp: make([]int32, n),
-	}
-	for i := 0; i < n; i++ {
-		sn.rep[i] = s.find(int32(i))
-	}
-
-	// Condensed adjacency per representative: out-edges mapped through
-	// rep, deduped, self-loops dropped.
 	adj := make([][]int32, n)
 	seen := make([]int32, n)
 	epoch := int32(0)
 	for i := 0; i < n; i++ {
 		v := int32(i)
-		if sn.rep[i] != v || len(s.nodes[i].edges) == 0 {
+		if rep[i] != v || len(s.nodes[i].edges) == 0 {
 			continue
 		}
 		epoch++
 		out := make([]int32, 0, len(s.nodes[i].edges))
 		for _, e := range s.nodes[i].edges {
-			w := sn.rep[e]
+			w := rep[e]
 			if w == v || seen[w] == epoch {
 				continue
 			}
@@ -64,47 +56,28 @@ func (s *Solver) buildSnapshot() *snapshot {
 		}
 		adj[i] = out
 	}
+	return adj
+}
 
-	// Iterative Tarjan over the representatives. Components pop in
-	// reverse topological order: every edge out of a completed component
-	// leads to an earlier (smaller-id) component.
-	members := s.condense(sn, adj)
+// buildSnapshot freezes the solver's graph. Called once, after the
+// fixpoint, while the solver is still single-threaded.
+func (s *Solver) buildSnapshot() *snapshot {
+	n := len(s.nodes)
+	sn := &snapshot{rep: make([]int32, n)}
+	for i := 0; i < n; i++ {
+		sn.rep[i] = s.find(int32(i))
+	}
+	adj := s.condensedAdj(sn.rep)
 
-	// Successor components and DAG height per component. Successors have
-	// smaller ids, so one ascending pass resolves heights.
+	// Iterative Tarjan over the representatives (shared with the wave
+	// solvers; see internal/scc). Unlike reachTarjan it never unifies:
+	// the snapshot leaves solver state untouched, which is what makes it
+	// valid under every Config (including CycleElim off, where cycles
+	// survive the fixpoint).
+	var members [][]int32
+	sn.comp, members = scc.Condense(adj, func(v int32) bool { return sn.rep[v] == v })
+	succs, _, buckets := scc.Level(sn.comp, members, adj)
 	nc := len(members)
-	succs := make([][]int32, nc)
-	height := make([]int32, nc)
-	maxHeight := int32(0)
-	cseen := make([]int32, nc)
-	cepoch := int32(0)
-	for c := 0; c < nc; c++ {
-		cepoch++
-		var out []int32
-		h := int32(0)
-		for _, m := range members[c] {
-			for _, w := range adj[m] {
-				wc := sn.comp[w]
-				if wc == int32(c) || cseen[wc] == cepoch {
-					continue
-				}
-				cseen[wc] = cepoch
-				out = append(out, wc)
-				if height[wc]+1 > h {
-					h = height[wc] + 1
-				}
-			}
-		}
-		succs[c] = out
-		height[c] = h
-		if h > maxHeight {
-			maxHeight = h
-		}
-	}
-	buckets := make([][]int32, maxHeight+1)
-	for c := 0; c < nc; c++ {
-		buckets[height[c]] = append(buckets[height[c]], int32(c))
-	}
 
 	// Materialize lval sets bottom-up: a component's set is the union of
 	// its members' base elements and its successors' sets, all of which
@@ -118,11 +91,12 @@ func (s *Solver) buildSnapshot() *snapshot {
 	sn.sets = make([][]prim.SymID, nc)
 	interned := map[uint64][][]prim.SymID{}
 	builders := make([]set.Builder, parallel.Workers(s.cfg.Jobs))
-	for _, bucket := range buckets {
-		parallel.Shard(s.cfg.Jobs, len(bucket), func(wk, lo, hi int) error {
+	parallel.Levels(s.cfg.Jobs, len(buckets),
+		func(l int) int { return len(buckets[l]) },
+		func(l, wk, lo, hi int) error {
 			b := &builders[wk]
 			for bi := lo; bi < hi; bi++ {
-				c := bucket[bi]
+				c := buckets[l][bi]
 				b.Reset()
 				for _, m := range members[c] {
 					b.MergeSyms(s.nodes[m].base)
@@ -133,11 +107,13 @@ func (s *Solver) buildSnapshot() *snapshot {
 				sn.sets[c] = b.Syms()
 			}
 			return nil
+		},
+		func(l int) error {
+			for _, c := range buckets[l] {
+				sn.sets[c] = internInto(interned, sn.sets[c])
+			}
+			return nil
 		})
-		for _, c := range bucket {
-			sn.sets[c] = internInto(interned, sn.sets[c])
-		}
-	}
 
 	// Accounting: a multi-member component is a cycle whose nodes the
 	// final query pass would have unified; the snapshot collapses them
@@ -148,81 +124,4 @@ func (s *Solver) buildSnapshot() *snapshot {
 		}
 	}
 	return sn
-}
-
-// condense runs iterative Tarjan over the representative graph, filling
-// sn.comp and returning each component's members. Unlike reachTarjan it
-// never unifies: the snapshot leaves solver state untouched, which is
-// what makes it valid under every Config (including CycleElim off, where
-// cycles survive the fixpoint).
-func (s *Solver) condense(sn *snapshot, adj [][]int32) [][]int32 {
-	n := len(s.nodes)
-	index := make([]int32, n)
-	low := make([]int32, n)
-	onStack := make([]bool, n)
-	var (
-		members [][]int32
-		stack   []int32
-		frames  []tframe
-		order   int32
-	)
-	push := func(v int32) {
-		order++
-		index[v] = order
-		low[v] = order
-		onStack[v] = true
-		stack = append(stack, v)
-		frames = append(frames, tframe{v: v})
-	}
-	for r0 := 0; r0 < n; r0++ {
-		v0 := int32(r0)
-		if sn.rep[r0] != v0 || index[v0] != 0 {
-			continue
-		}
-		push(v0)
-		for len(frames) > 0 {
-			f := &frames[len(frames)-1]
-			v := f.v
-			advanced := false
-			for f.ei < len(adj[v]) {
-				w := adj[v][f.ei]
-				f.ei++
-				if index[w] == 0 {
-					push(w)
-					advanced = true
-					break
-				}
-				if onStack[w] && index[w] < low[v] {
-					low[v] = index[w]
-				}
-			}
-			if advanced {
-				continue
-			}
-			frames = frames[:len(frames)-1]
-			if len(frames) > 0 {
-				p := frames[len(frames)-1].v
-				if low[v] < low[p] {
-					low[p] = low[v]
-				}
-			}
-			if low[v] != index[v] {
-				continue
-			}
-			cid := int32(len(members))
-			var ms []int32
-			for {
-				m := stack[len(stack)-1]
-				stack = stack[:len(stack)-1]
-				onStack[m] = false
-				sn.comp[m] = cid
-				ms = append(ms, m)
-				if m == v {
-					break
-				}
-			}
-			members = append(members, ms)
-		}
-	}
-	return members
 }

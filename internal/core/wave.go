@@ -1,0 +1,300 @@
+// Phase-parallel wave fixpoint for the pre-transitive solver. Each pass
+// of the Figure 5 iteration becomes one wave: the constraint graph is
+// SCC-condensed and topologically leveled (the same machinery the
+// post-fixpoint snapshot uses, shared via internal/scc), every
+// component's lval set is materialized bottom-up with components of
+// equal height fanned out across the worker pool, and the in-core
+// complex assignments plus funcptr links are then evaluated in parallel
+// against those frozen sets — each worker emitting deferred edge
+// insertions into a private buffer instead of touching the graph. The
+// buffers are merged sequentially in deterministic order (workers own
+// contiguous assignment shards, so worker-slot order is assignment
+// order) and the next wave begins if anything changed.
+//
+// The solver-global epoch scratch of reach.go never runs here: workers
+// carry private builders, arenas and interning tables, and the mutable
+// graph operations (unify, addEdge, demand loads) stay sequential at
+// wave boundaries. Andersen's analysis has a unique least fixpoint, so
+// the converged graph — and therefore the snapshot and every points-to
+// set — is byte-identical to the sequential reference at any -j.
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"cla/internal/parallel"
+	"cla/internal/prim"
+	"cla/internal/pts/set"
+	"cla/internal/scc"
+)
+
+// wavePairsCheck is how many deferred-pair emissions or applications may
+// pass between cancellation checks.
+const wavePairsCheck = 256
+
+// coreWaveWorker is one worker's private solve scratch: set machinery
+// for materialization and node-dedup scratch plus the deferred-edge
+// buffer for rule evaluation.
+type coreWaveWorker struct {
+	bld   set.Builder
+	arena *set.Arena
+	table *set.Table
+
+	seen  []int32
+	epoch int32
+	syms  []prim.SymID
+	nbuf  []int32
+
+	pairs []int64
+	apps  int
+}
+
+func packEdge(a, b int32) int64 { return int64(a)<<32 | int64(uint32(b)) }
+
+func unpackEdge(p int64) (a, b int32) { return int32(p >> 32), int32(uint32(p)) }
+
+// lvalNodes resolves x's materialized lval set to deduped representative
+// nodes — the parallel analogue of getLvalsNodes, reading only frozen
+// per-pass state.
+func (w *coreWaveWorker) lvalNodes(rep, comp []int32, compSets []*set.Set, x int32) []int32 {
+	r := rep[x]
+	w.syms = compSets[comp[r]].AppendSyms(w.syms[:0])
+	w.epoch++
+	out := w.nbuf[:0]
+	for _, lv := range w.syms {
+		rr := rep[lv]
+		if w.seen[rr] != w.epoch {
+			w.seen[rr] = w.epoch
+			out = append(out, rr)
+		}
+	}
+	w.nbuf = out
+	return out
+}
+
+// solveWaves runs the fixpoint as barrier-synchronized waves. Graph
+// state entering each wave equals what a sequential pass would start
+// from; only the order in which the pass discovers new edges differs,
+// which the unique least fixpoint makes unobservable in the result.
+func (s *Solver) solveWaves(ctx context.Context) error {
+	jobs := s.cfg.Jobs
+	ws := make([]coreWaveWorker, parallel.Workers(jobs))
+	for i := range ws {
+		ws[i].arena = set.NewArena()
+		ws[i].table = set.NewTable()
+	}
+	var (
+		rep      []int32
+		compSets []*set.Set
+	)
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		s.pass++
+		if int(s.pass) > s.cfg.MaxPasses {
+			return fmt.Errorf("core: no convergence after %d passes", s.cfg.MaxPasses)
+		}
+		s.m.Passes++
+		s.m.Waves++
+		s.changed = false
+
+		// Deref nodes are created up front, sequentially, so the parallel
+		// rule phase only ever reads the node table.
+		for _, ca := range s.complex {
+			if ca.kind == ckLoad {
+				s.derefNode(ca.y)
+			}
+		}
+
+		// Condense and level the live graph.
+		n := len(s.nodes)
+		rep = rep[:0]
+		for i := 0; i < n; i++ {
+			rep = append(rep, s.find(int32(i)))
+		}
+		adj := s.condensedAdj(rep)
+		comp, members := scc.Condense(adj, func(v int32) bool { return rep[v] == v })
+		s.m.SCCRounds++
+
+		// Cycle elimination: every multi-member component is a cycle; the
+		// sequential path unifies them lazily during reachability, the
+		// wave path unifies them here, between waves, where the graph is
+		// safely mutable.
+		if s.cfg.CycleElim {
+			unified := false
+			for _, ms := range members {
+				if len(ms) <= 1 {
+					continue
+				}
+				r := ms[0]
+				for _, m := range ms[1:] {
+					r = s.unify(r, m)
+				}
+				unified = true
+			}
+			if unified {
+				for i := 0; i < n; i++ {
+					rep[i] = s.find(int32(i))
+				}
+			}
+			// Unification can queue demand loads (a relevant node absorbs
+			// unloaded members). Loading grows the graph, invalidating
+			// this wave's condensation — restart the pass.
+			if err := s.drainLoads(); err != nil {
+				return err
+			}
+			if s.changed {
+				continue
+			}
+		}
+		succs, _, buckets := scc.Level(comp, members, adj)
+
+		// Materialize every component's lval set bottom-up, level by
+		// level, with per-worker builders sealing into per-worker arenas
+		// (rewound each wave, like the sequential path's per-pass flush).
+		nc := len(members)
+		if cap(compSets) >= nc {
+			compSets = compSets[:nc]
+			clear(compSets)
+		} else {
+			compSets = make([]*set.Set, nc)
+		}
+		for i := range ws {
+			ws[i].arena.Reset()
+			ws[i].table.Reset()
+			if len(ws[i].seen) < n {
+				ws[i].seen = make([]int32, 2*n)
+				ws[i].epoch = 0
+			}
+		}
+		for _, b := range buckets {
+			if len(b) > s.m.WaveWidth {
+				s.m.WaveWidth = len(b)
+			}
+		}
+		err := parallel.LevelsCtx(ctx, jobs, len(buckets),
+			func(l int) int { return len(buckets[l]) },
+			func(l, wk, lo, hi int) error {
+				w := &ws[wk]
+				for bi := lo; bi < hi; bi++ {
+					c := buckets[l][bi]
+					w.bld.Reset()
+					for _, m := range members[c] {
+						w.bld.MergeSyms(s.nodes[m].base)
+					}
+					for _, sc := range succs[c] {
+						w.bld.MergeSet(compSets[sc])
+					}
+					compSets[c] = w.bld.Seal(w.arena, w.table)
+				}
+				return nil
+			}, nil)
+		if err != nil {
+			return err
+		}
+
+		// Complex rules fire against the frozen sets; workers defer the
+		// edge insertions. Shards are contiguous, so draining the buffers
+		// in worker order preserves assignment order exactly.
+		err = parallel.ShardCtx(ctx, jobs, len(s.complex), func(wk, lo, hi int) error {
+			w := &ws[wk]
+			w.pairs = w.pairs[:0]
+			for i := lo; i < hi; i++ {
+				ca := s.complex[i]
+				switch ca.kind {
+				case ckStore: // *x = y: edge n(z) → n(y) for each &z in lvals(x)
+					for _, z := range w.lvalNodes(rep, comp, compSets, ca.x) {
+						w.pairs = append(w.pairs, packEdge(z, ca.y))
+					}
+				case ckLoad: // x = *y: edges n(x) → n(*y) and n(*y) → n(z)
+					d := rep[s.nodes[rep[ca.y]].deref]
+					w.pairs = append(w.pairs, packEdge(ca.x, d))
+					for _, z := range w.lvalNodes(rep, comp, compSets, ca.y) {
+						w.pairs = append(w.pairs, packEdge(d, z))
+					}
+				}
+				if w.apps++; w.apps >= wavePairsCheck {
+					w.apps = 0
+					if err := ctx.Err(); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		if err := s.mergePairs(ctx, ws); err != nil {
+			return err
+		}
+
+		// Funcptr linking against the same frozen sets.
+		err = parallel.ShardCtx(ctx, jobs, len(s.ptrRecs), func(wk, lo, hi int) error {
+			w := &ws[wk]
+			w.pairs = w.pairs[:0]
+			for i := lo; i < hi; i++ {
+				r := &s.recs[s.ptrRecs[i]]
+				w.syms = compSets[comp[rep[int32(r.Func)]]].AppendSyms(w.syms[:0])
+				for _, lv := range w.syms {
+					gi, ok := s.recOfFunc[int32(lv)]
+					if !ok {
+						continue
+					}
+					g := &s.recs[gi]
+					np := len(r.Params)
+					if len(g.Params) < np {
+						np = len(g.Params)
+					}
+					for k := 0; k < np; k++ {
+						w.pairs = append(w.pairs, packEdge(int32(g.Params[k]), int32(r.Params[k])))
+					}
+					if r.Ret != prim.NoSym && g.Ret != prim.NoSym {
+						w.pairs = append(w.pairs, packEdge(int32(r.Ret), int32(g.Ret)))
+					}
+					if w.apps++; w.apps >= wavePairsCheck {
+						w.apps = 0
+						if err := ctx.Err(); err != nil {
+							return err
+						}
+					}
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		if err := s.mergePairs(ctx, ws); err != nil {
+			return err
+		}
+
+		if !s.changed {
+			return nil
+		}
+	}
+}
+
+// mergePairs applies the deferred edge insertions sequentially, in
+// worker-slot order, with the usual addEdge side effects (relevance,
+// demand loads, the changed flag), then drains any queued loads.
+func (s *Solver) mergePairs(ctx context.Context, ws []coreWaveWorker) error {
+	applied := 0
+	for wi := range ws {
+		for _, p := range ws[wi].pairs {
+			a, b := unpackEdge(p)
+			s.addEdge(a, b)
+			if applied++; applied >= wavePairsCheck {
+				applied = 0
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+		}
+		s.m.DeltaMergeBytes += int64(8 * len(ws[wi].pairs))
+		ws[wi].pairs = ws[wi].pairs[:0]
+	}
+	return s.drainLoads()
+}

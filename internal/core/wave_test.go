@@ -1,0 +1,106 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"cla/internal/prim"
+	"cla/internal/pts"
+)
+
+// TestWaveMatchesSequentialAllConfigs pins the wave fixpoint against the
+// sequential reference under every ablation: with and without cycle
+// elimination and demand loading, the points-to sets must be identical.
+func TestWaveMatchesSequentialAllConfigs(t *testing.T) {
+	configs := []Config{
+		DefaultConfig(),
+		{Cache: true, DemandLoad: true},
+		{CycleElim: true},
+		{},
+	}
+	for _, seed := range []int64{1, 9, 23} {
+		p := randProgram(seed, 150, 500)
+		for ci, base := range configs {
+			cfg := base
+			cfg.Jobs = 1
+			r1, err := Solve(pts.NewMemSource(p), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := allSets(p, r1)
+			for _, jobs := range []int{2, 8} {
+				cfg.Jobs = jobs
+				rj, err := Solve(pts.NewMemSource(p), cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(want, allSets(p, rj)) {
+					t.Errorf("seed %d config %d: sets differ at jobs=%d", seed, ci, jobs)
+				}
+			}
+		}
+	}
+}
+
+// TestWaveFuncPtr checks indirect-call linking through the parallel
+// funcptr phase.
+func TestWaveFuncPtr(t *testing.T) {
+	p := &prim.Program{}
+	obj := p.AddSym(prim.Symbol{Name: "obj", Kind: prim.SymGlobal})
+	fn := p.AddSym(prim.Symbol{Name: "f", Kind: prim.SymFunc})
+	arg := p.AddSym(prim.Symbol{Name: "f$a", Kind: prim.SymParam})
+	ret := p.AddSym(prim.Symbol{Name: "f$ret", Kind: prim.SymRet})
+	fp := p.AddSym(prim.Symbol{Name: "fp", Kind: prim.SymGlobal, FuncPtr: true})
+	fpa := p.AddSym(prim.Symbol{Name: "fp$a", Kind: prim.SymParam})
+	fpr := p.AddSym(prim.Symbol{Name: "fp$ret", Kind: prim.SymRet})
+	res := p.AddSym(prim.Symbol{Name: "res", Kind: prim.SymGlobal})
+	p.Funcs = append(p.Funcs,
+		prim.FuncRecord{Func: fn, Params: []prim.SymID{arg}, Ret: ret},
+		prim.FuncRecord{Func: fp, Params: []prim.SymID{fpa}, Ret: fpr})
+	p.AddAssign(prim.Assign{Kind: prim.Base, Dst: fp, Src: fn, Strength: prim.Strong})
+	p.AddAssign(prim.Assign{Kind: prim.Base, Dst: fpa, Src: obj, Strength: prim.Strong})
+	p.AddAssign(prim.Assign{Kind: prim.Simple, Dst: ret, Src: arg, Strength: prim.Strong})
+	p.AddAssign(prim.Assign{Kind: prim.Simple, Dst: res, Src: fpr, Strength: prim.Strong})
+
+	for _, jobs := range []int{1, 2, 8} {
+		cfg := DefaultConfig()
+		cfg.Jobs = jobs
+		r, err := Solve(pts.NewMemSource(p), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := r.PointsTo(res)
+		if len(got) != 1 || got[0] != obj {
+			t.Errorf("jobs=%d: pts(res) = %v, want [obj]", jobs, got)
+		}
+	}
+}
+
+// countdownCtx cancels after a fixed number of Err checks, making
+// mid-wave cancellation deterministic.
+type countdownCtx struct {
+	context.Context
+	checks atomic.Int64
+	after  int64
+}
+
+func (c *countdownCtx) Err() error {
+	if c.checks.Add(1) > c.after {
+		return context.Canceled
+	}
+	return nil
+}
+
+func TestWaveCancellation(t *testing.T) {
+	p := randProgram(5, 200, 900)
+	cfg := DefaultConfig()
+	cfg.Jobs = 8
+	ctx := &countdownCtx{Context: context.Background(), after: 4}
+	_, err := SolveCtx(ctx, pts.NewMemSource(p), cfg)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

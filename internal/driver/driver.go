@@ -173,9 +173,12 @@ func Analyze(src pts.Source, solver Solver, cfg core.Config) (pts.Result, error)
 }
 
 // AnalyzeCtx is Analyze under a context. The pre-transitive and worklist
-// solvers check for cancellation inside their fixpoints; the remaining
-// whole-program solvers (Steensgaard, bit-vector, one-level) check only
-// at entry, as their single pass over the database is not interruptible.
+// solvers check for cancellation inside their fixpoints (per wave and
+// per few hundred rule applications); the remaining whole-program
+// solvers (Steensgaard, bit-vector, one-level) check only at entry, as
+// their single pass over the database is not interruptible. cfg.Jobs
+// selects the phase-parallel wave fixpoint for the pre-transitive and
+// worklist solvers when >= 2; the result is byte-identical at any -j.
 func AnalyzeCtx(ctx context.Context, src pts.Source, solver Solver, cfg core.Config) (pts.Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -184,7 +187,7 @@ func AnalyzeCtx(ctx context.Context, src pts.Source, solver Solver, cfg core.Con
 	case PreTransitive:
 		return core.SolveCtx(ctx, src, cfg)
 	case Worklist:
-		return worklist.SolveCtx(ctx, src)
+		return worklist.SolveJobsCtx(ctx, src, cfg.Jobs)
 	case Steensgaard:
 		return steens.Solve(src)
 	case BitVector:

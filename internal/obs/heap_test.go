@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"runtime"
 	"testing"
 	"time"
 )
@@ -18,10 +19,12 @@ func TestWatchHeapRecordsHighWater(t *testing.T) {
 	time.Sleep(5 * time.Millisecond)
 	stop()
 	stop() // idempotent
-	if v := g.Value(); v < int64(len(buf)) {
-		t.Fatalf("heap peak %d below the %d bytes held live", v, len(buf))
+	// buf must stay live through the final sample inside stop — without
+	// this the GC may reclaim it right after the write loop, its last use.
+	runtime.KeepAlive(buf)
+	if v := g.Value(); v < int64(8<<20) {
+		t.Fatalf("heap peak %d below the %d bytes held live", v, 8<<20)
 	}
-	_ = buf[0]
 }
 
 func TestWatchHeapNilGauge(t *testing.T) {

@@ -64,6 +64,20 @@ type Metrics struct {
 	CacheHits, CacheMisses int64
 	// EdgesAdded counts graph edge insertions.
 	EdgesAdded int
+	// Waves counts barrier-synchronized waves executed by the
+	// phase-parallel solve path (zero when the sequential reference ran).
+	Waves int
+	// SCCRounds counts condensation rounds (SCC + topological leveling)
+	// the phase-parallel solve path performed.
+	SCCRounds int
+	// WaveWidth is the maximum number of independent units processed
+	// within one level barrier — the solve phase's exploitable
+	// parallelism.
+	WaveWidth int
+	// DeltaMergeBytes totals the bytes of delta elements and deferred
+	// edge pairs merged at wave boundaries. The merge order is
+	// deterministic, so this figure is identical at any worker count.
+	DeltaMergeBytes int64
 }
 
 // CountedAsPointerVar reports whether a symbol of kind k counts as a
@@ -229,4 +243,8 @@ func (m Metrics) Publish(o *obs.Observer) {
 	o.SetCounter("solver.cache_hits", m.CacheHits)
 	o.SetCounter("solver.cache_misses", m.CacheMisses)
 	o.SetCounter("solver.edges_added", int64(m.EdgesAdded))
+	o.SetCounter("solve.waves", int64(m.Waves))
+	o.SetCounter("solve.scc_rounds", int64(m.SCCRounds))
+	o.SetCounter("solve.wave_width", int64(m.WaveWidth))
+	o.SetCounter("solve.delta_merge_bytes", m.DeltaMergeBytes)
 }

@@ -1,0 +1,476 @@
+// Phase-parallel wave solver for the worklist algorithm. The constraint
+// graph is periodically SCC-condensed (cycles unified, so every schedule
+// unit is a single live node) and topologically leveled; a wave then
+// walks the levels from sources to sinks, processing the dirty nodes of
+// each level concurrently. Workers never touch shared mutable state:
+// each accumulates private delta merges and deferred edge insertions
+// (complex-rule and funcptr pairs) into per-worker buffers, which the
+// level barrier and the wave end merge sequentially in a deterministic
+// order — by level, then worker slot (shards are contiguous, so that is
+// ascending node order), then emission order. Andersen's analysis has a
+// unique least fixpoint, so any sound and complete schedule — including
+// this one, at any worker count — produces byte-identical points-to
+// sets; the sequential loop in worklist.go remains the -j 1 reference.
+package worklist
+
+import (
+	"context"
+
+	"cla/internal/parallel"
+	"cla/internal/prim"
+	"cla/internal/pts"
+	"cla/internal/pts/set"
+	"cla/internal/scc"
+)
+
+// packPair packs a deferred inclusion edge a → b into one int64 so
+// per-worker buffers stay flat.
+func packPair(a, b int32) int64 { return int64(a)<<32 | int64(uint32(b)) }
+
+func unpackPair(p int64) (a, b int32) { return int32(p >> 32), int32(uint32(p)) }
+
+// waveWorker is one worker's private scratch. Nothing in it is read by
+// another goroutine until the level barrier, after which the scheduler
+// drains it sequentially.
+type waveWorker struct {
+	freshBuf []prim.SymID
+	pairs    []int64
+	pubbed   []int32
+	merged   int64 // bytes of delta elements merged by pulls
+	apps     int   // rule applications since the last ctx check
+}
+
+// waveSolver drives waves over a solver whose load phase has completed.
+type waveSolver struct {
+	s    *solver
+	jobs int
+
+	// parent is the unification union-find; rep is its flattened form,
+	// rebuilt after every condensation round so workers can resolve
+	// representatives without mutating shared state (find path-compresses
+	// and is therefore worker-unsafe).
+	parent []int32
+	rep    []int32
+
+	comp   []int32   // live node → component id (scc.Condense numbering)
+	height []int32   // component → DAG height
+	levels [][]int32 // wave order: levels[l] lists live nodes, height descending
+	levelH []int32   // levels[l]'s height
+
+	// pub[v] is the delta node v published this wave (consumed by
+	// lower-level pulls and wave-end carries); contrib[v] lists the
+	// already-processed nodes whose publications v must pull; dirty marks
+	// nodes holding unprocessed deltas. Pending deltas themselves live in
+	// solver.delta, shared with the sequential path's helpers.
+	pub     [][]prim.SymID
+	contrib [][]int32
+	dirty   []bool
+
+	// fpOf indexes ptrRecs by function-pointer node, replacing the
+	// sequential loop's linear scan.
+	fpOf map[int32][]*prim.FuncRecord
+
+	units  []int32    // dirty nodes of the level being processed
+	carry  [][2]int32 // publications crossing stale (post-condensation) edges
+	pairs  []int64    // wave-global deferred edges, deterministic order
+	pubbed []int32    // all nodes that published this wave
+
+	adjBuf []int32
+	seen   []int32
+	epoch  int32
+
+	edgesSinceCond int
+	wavesSinceCond int
+
+	ws []waveWorker
+}
+
+// solveWave runs the phase-parallel fixpoint. The solver's load phase
+// has already produced the full constraint system and the initial deltas
+// (solver.delta); node ids are stable from here on.
+func (s *solver) solveWave(ctx context.Context, jobs int) (*Result, error) {
+	n := len(s.pt)
+	w := &waveSolver{s: s, jobs: jobs}
+	w.parent = make([]int32, n)
+	w.rep = make([]int32, n)
+	for i := range w.parent {
+		w.parent[i] = int32(i)
+	}
+	w.pub = make([][]prim.SymID, n)
+	w.contrib = make([][]int32, n)
+	w.dirty = make([]bool, n)
+	for i := range s.delta {
+		if len(s.delta[i]) > 0 {
+			w.dirty[i] = true
+		}
+	}
+	w.seen = make([]int32, n)
+	w.fpOf = map[int32][]*prim.FuncRecord{}
+	for _, r := range s.ptrRecs {
+		w.fpOf[int32(r.Func)] = append(w.fpOf[int32(r.Func)], r)
+	}
+	w.ws = make([]waveWorker, parallel.Workers(jobs))
+
+	w.condense()
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if !w.anyDirty() {
+			break
+		}
+		if err := w.runWave(ctx); err != nil {
+			return nil, err
+		}
+		// Edges inserted since the last condensation are serviced by the
+		// carry path, which costs one wave per stale hop; once a couple
+		// of waves have accumulated new structure, rebuild the schedule.
+		// The policy depends only on solve state, never on worker count.
+		if w.edgesSinceCond > 0 && w.wavesSinceCond >= 2 {
+			w.condense()
+		}
+	}
+
+	out := make([][]prim.SymID, s.n)
+	for i := 0; i < s.n; i++ {
+		out[i] = s.pt[w.rep[i]]
+	}
+	res := &Result{pt: out, m: s.m}
+	pts.FinalizeMetrics(s.src, res, &res.m)
+	return res, nil
+}
+
+// find resolves v's representative with path compression. Only the
+// sequential phases may call it; workers use the flat rep table.
+func (w *waveSolver) find(v int32) int32 {
+	for w.parent[v] != v {
+		w.parent[v] = w.parent[w.parent[v]]
+		v = w.parent[v]
+	}
+	return v
+}
+
+func (w *waveSolver) anyDirty() bool {
+	for _, d := range w.dirty {
+		if d {
+			return true
+		}
+	}
+	return false
+}
+
+// condense rebuilds the wave schedule: flatten representatives, condense
+// the live constraint graph, unify every multi-member component (so all
+// schedule units are singletons), and level the condensation with the
+// outermost sources first. Sequential; runs between waves only.
+func (w *waveSolver) condense() {
+	s := w.s
+	n := len(s.pt)
+	for i := 0; i < n; i++ {
+		w.rep[i] = w.find(int32(i))
+	}
+	adj := make([][]int32, n)
+	for i := 0; i < n; i++ {
+		v := int32(i)
+		if w.rep[i] != v || s.succ[v].Len() == 0 {
+			continue
+		}
+		w.epoch++
+		w.adjBuf = s.succ[v].AppendTo(w.adjBuf[:0])
+		out := make([]int32, 0, len(w.adjBuf))
+		for _, e := range w.adjBuf {
+			t := w.rep[e]
+			if t == v || w.seen[t] == w.epoch {
+				continue
+			}
+			w.seen[t] = w.epoch
+			out = append(out, t)
+		}
+		adj[i] = out
+	}
+	comp, members := scc.Condense(adj, func(v int32) bool { return w.rep[v] == v })
+	s.m.SCCRounds++
+
+	unified := false
+	for _, ms := range members {
+		if len(ms) <= 1 {
+			continue
+		}
+		a := ms[0]
+		for _, b := range ms[1:] {
+			w.unifyNodes(a, b)
+		}
+		// Republish the survivor's full set: successors of the old
+		// members have each seen only their own member's elements.
+		// Idempotent (re-merging known elements adds nothing), so this
+		// over-approximates pending work without breaking the delta
+		// invariant.
+		s.delta[a] = s.pt[a]
+		w.dirty[a] = len(s.delta[a]) > 0
+		unified = true
+	}
+	if unified {
+		for i := 0; i < n; i++ {
+			w.rep[i] = w.find(int32(i))
+		}
+	}
+
+	_, height, buckets := scc.Level(comp, members, adj)
+	w.comp, w.height = comp, height
+	w.levels = w.levels[:0]
+	w.levelH = w.levelH[:0]
+	for h := len(buckets) - 1; h >= 0; h-- {
+		lvl := make([]int32, 0, len(buckets[h]))
+		for _, c := range buckets[h] {
+			lvl = append(lvl, w.rep[members[c][0]])
+		}
+		w.levels = append(w.levels, lvl)
+		w.levelH = append(w.levelH, int32(h))
+	}
+	w.edgesSinceCond, w.wavesSinceCond = 0, 0
+}
+
+// unifyNodes merges b into a (both current representatives, members of
+// one SCC): points-to sets, successor edges and rule registrations. Edge
+// ids in other nodes' successor sets go stale; every consumer maps them
+// through rep before use.
+func (w *waveSolver) unifyNodes(a, b int32) {
+	s := w.s
+	w.parent[b] = a
+	s.pt[a] = mergeSorted(s.pt[a], s.pt[b])
+	s.pt[b] = nil
+	s.delta[b] = nil
+	w.pub[b] = nil
+	w.dirty[b] = false
+	w.adjBuf = s.succ[b].AppendTo(w.adjBuf[:0])
+	for _, e := range w.adjBuf {
+		if e != a {
+			s.succ[a].Add(e)
+		}
+	}
+	s.succ[b] = set.Sparse{}
+	if l := s.loadsOf[b]; len(l) > 0 {
+		s.loadsOf[a] = append(s.loadsOf[a], l...)
+		delete(s.loadsOf, b)
+	}
+	if l := s.storesOf[b]; len(l) > 0 {
+		s.storesOf[a] = append(s.storesOf[a], l...)
+		delete(s.storesOf, b)
+	}
+	if f := w.fpOf[b]; len(f) > 0 {
+		w.fpOf[a] = append(w.fpOf[a], f...)
+		delete(w.fpOf, b)
+	}
+	s.m.Unifications++
+}
+
+// runWave processes every level once, outermost (highest) first, then
+// merges the wave's deferred work. Within a level the dirty nodes shard
+// across the pool; the barrier between levels guarantees that when a
+// node runs, every upstream publication of this wave is already visible
+// in its contrib list.
+func (w *waveSolver) runWave(ctx context.Context) error {
+	s := w.s
+	err := parallel.LevelsCtx(ctx, w.jobs, len(w.levels),
+		func(l int) int {
+			w.units = w.units[:0]
+			for _, v := range w.levels[l] {
+				if w.dirty[v] {
+					w.units = append(w.units, v)
+				}
+			}
+			if len(w.units) > s.m.WaveWidth {
+				s.m.WaveWidth = len(w.units)
+			}
+			return len(w.units)
+		},
+		func(l, wk, lo, hi int) error {
+			return w.runUnits(ctx, &w.ws[wk], w.units[lo:hi])
+		},
+		func(l int) error {
+			w.scatter(w.levelH[l])
+			return nil
+		})
+	if err != nil {
+		return err
+	}
+	return w.waveEnd(ctx)
+}
+
+// runUnits is the worker body: pull upstream publications, publish the
+// pending delta, and evaluate the complex and funcptr rules on it into
+// the private pair buffer. Only node v's own slices are written, so
+// concurrent units never alias.
+func (w *waveSolver) runUnits(ctx context.Context, wk *waveWorker, units []int32) error {
+	s := w.s
+	for _, v := range units {
+		w.dirty[v] = false
+		if cb := w.contrib[v]; len(cb) > 0 {
+			for _, src := range cb {
+				wk.merged += int64(4 * w.pull(wk, v, w.pub[src]))
+			}
+			w.contrib[v] = cb[:0]
+		}
+		dv := s.delta[v]
+		s.delta[v] = nil
+		if len(dv) == 0 {
+			continue
+		}
+		w.pub[v] = dv
+		wk.pubbed = append(wk.pubbed, v)
+		for _, x := range s.loadsOf[v] { // x = *v
+			for _, z := range dv {
+				wk.pairs = append(wk.pairs, packPair(int32(z), x))
+			}
+			wk.apps += len(dv)
+		}
+		for _, y := range s.storesOf[v] { // *v = y
+			for _, z := range dv {
+				wk.pairs = append(wk.pairs, packPair(y, int32(z)))
+			}
+			wk.apps += len(dv)
+		}
+		for _, r := range w.fpOf[v] {
+			for _, z := range dv {
+				g, ok := s.recOfFunc[int32(z)]
+				if !ok {
+					continue
+				}
+				np := len(r.Params)
+				if len(g.Params) < np {
+					np = len(g.Params)
+				}
+				for i := 0; i < np; i++ {
+					wk.pairs = append(wk.pairs, packPair(int32(r.Params[i]), int32(g.Params[i])))
+				}
+				if r.Ret != prim.NoSym && g.Ret != prim.NoSym {
+					wk.pairs = append(wk.pairs, packPair(int32(g.Ret), int32(r.Ret)))
+				}
+			}
+			wk.apps += len(dv)
+		}
+		if wk.apps >= ctxCheckApps {
+			wk.apps = 0
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// pull merges src's publication into v's set and pending delta using the
+// worker's private scratch; returns the number of fresh elements.
+func (w *waveSolver) pull(wk *waveWorker, v int32, add []prim.SymID) int {
+	s := w.s
+	pt := s.pt[v]
+	fresh := wk.freshBuf[:0]
+	i, j := 0, 0
+	for i < len(pt) && j < len(add) {
+		switch {
+		case pt[i] < add[j]:
+			i++
+		case pt[i] > add[j]:
+			fresh = append(fresh, add[j])
+			j++
+		default:
+			i++
+			j++
+		}
+	}
+	fresh = append(fresh, add[j:]...)
+	wk.freshBuf = fresh
+	if len(fresh) == 0 {
+		return 0
+	}
+	s.pt[v] = mergeSorted(pt, fresh)
+	s.delta[v] = mergeSorted(s.delta[v], fresh)
+	return len(fresh)
+}
+
+// scatter drains the level's per-worker buffers on the scheduling
+// goroutine, in worker-slot order — shards are contiguous, so that is
+// ascending node order within the level. Publications route to
+// lower-level successors via contrib lists; edges that defy the level
+// order (inserted after the last condensation) become carries, applied
+// at the wave end.
+func (w *waveSolver) scatter(h int32) {
+	s := w.s
+	for wi := range w.ws {
+		wk := &w.ws[wi]
+		for _, v := range wk.pubbed {
+			s.m.Passes++
+			w.adjBuf = s.succ[v].AppendTo(w.adjBuf[:0])
+			for _, e := range w.adjBuf {
+				t := w.rep[e]
+				if t == v {
+					continue
+				}
+				if w.height[w.comp[t]] < h {
+					w.contrib[t] = append(w.contrib[t], v)
+					w.dirty[t] = true
+				} else {
+					w.carry = append(w.carry, [2]int32{v, t})
+				}
+			}
+		}
+		w.pubbed = append(w.pubbed, wk.pubbed...)
+		wk.pubbed = wk.pubbed[:0]
+		w.pairs = append(w.pairs, wk.pairs...)
+		wk.pairs = wk.pairs[:0]
+		s.m.DeltaMergeBytes += wk.merged
+		wk.merged = 0
+	}
+}
+
+// waveEnd applies the wave's deferred work sequentially: carries first,
+// then edge insertions with the usual full-set catch-up, all in the
+// deterministic order the buffers were drained in. Cancellation is
+// checked every few hundred applications.
+func (w *waveSolver) waveEnd(ctx context.Context) error {
+	s := w.s
+	apps := 0
+	for _, c := range w.carry {
+		v, t := c[0], c[1]
+		if s.unionDiff(t, w.pub[v]) {
+			s.m.DeltaMergeBytes += int64(4 * len(s.freshBuf))
+			w.dirty[t] = true
+		}
+		if apps++; apps >= ctxCheckApps {
+			apps = 0
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+	}
+	w.carry = w.carry[:0]
+	for _, p := range w.pairs {
+		a, b := unpackPair(p)
+		a, b = w.rep[a], w.rep[b]
+		if a == b {
+			continue
+		}
+		if s.succ[a].Add(b) {
+			s.m.EdgesAdded++
+			w.edgesSinceCond++
+			if s.unionDiff(b, s.pt[a]) {
+				s.m.DeltaMergeBytes += int64(4 * len(s.freshBuf))
+				w.dirty[b] = true
+			}
+		}
+		if apps++; apps >= ctxCheckApps {
+			apps = 0
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+	}
+	w.pairs = w.pairs[:0]
+	for _, v := range w.pubbed {
+		w.pub[v] = nil
+	}
+	w.pubbed = w.pubbed[:0]
+	s.m.Waves++
+	w.wavesSinceCond++
+	return nil
+}

@@ -25,6 +25,13 @@ import (
 	"cla/internal/pts/set"
 )
 
+// ctxCheckApps is how many complex-rule applications may run between
+// cancellation checks, in both the sequential loop and each wave worker.
+// The old every-4096-pops check let a single pop with a huge delta starve
+// cancellation; counting rule applications bounds the latency by work
+// done, not by pops.
+const ctxCheckApps = 256
+
 // Solve runs the baseline Andersen analysis over the full database (the
 // algorithm is whole-program; demand loading does not apply).
 type solver struct {
@@ -77,10 +84,47 @@ func Solve(src pts.Source) (*Result, error) {
 	return SolveCtx(context.Background(), src)
 }
 
-// SolveCtx is Solve under a context: the worklist loop checks for
-// cancellation every few thousand pops, so a long solve aborts promptly
-// with ctx.Err().
+// SolveCtx is Solve under a context: the solve loop checks for
+// cancellation frequently (per pop batch and per few hundred complex-rule
+// applications), so a long solve aborts promptly with ctx.Err().
 func SolveCtx(ctx context.Context, src pts.Source) (*Result, error) {
+	return SolveJobsCtx(ctx, src, 1)
+}
+
+// SolveJobs is SolveJobsCtx without a context.
+func SolveJobs(src pts.Source, jobs int) (*Result, error) {
+	return SolveJobsCtx(context.Background(), src, jobs)
+}
+
+// SolveJobsCtx solves with an explicit worker budget. jobs <= 1 runs the
+// sequential reference worklist; jobs >= 2 runs the phase-parallel wave
+// solver (see wave.go), which SCC-condenses the constraint graph, levels
+// the condensation topologically and processes independent nodes of a
+// level concurrently with deterministic wave-boundary merges. Both paths
+// compute the same unique least fixpoint, so the Result is byte-identical
+// at any jobs value.
+func SolveJobsCtx(ctx context.Context, src pts.Source, jobs int) (*Result, error) {
+	s, err := newSolver(src)
+	if err != nil {
+		return nil, err
+	}
+	if jobs >= 2 {
+		return s.solveWave(ctx, jobs)
+	}
+	if err := s.runSeq(ctx); err != nil {
+		return nil, err
+	}
+	res := &Result{pt: s.pt[:s.n], m: s.m}
+	pts.FinalizeMetrics(src, res, &res.m)
+	return res, nil
+}
+
+// newSolver builds the constraint system: every block is loaded and
+// converted to edges, complex-rule registrations and initial points-to
+// deltas. The node universe is fixed once this returns (virtual temps
+// for *x = *y are allocated here), which is what lets the wave solver
+// treat node ids as a stable schedule domain.
+func newSolver(src pts.Source) (*solver, error) {
 	s := &solver{
 		src:       src,
 		n:         src.NumSyms(),
@@ -143,13 +187,19 @@ func SolveCtx(ctx context.Context, src pts.Source) (*Result, error) {
 			}
 		}
 	}
+	return s, nil
+}
 
-	pops := 0
+// runSeq is the sequential reference loop. Cancellation is checked per
+// pop batch and additionally every few hundred complex-rule
+// applications, so a pop with a huge delta cannot starve the check.
+func (s *solver) runSeq(ctx context.Context) error {
+	pops, apps := 0, 0
 	for len(s.work) > 0 {
 		pops++
-		if pops&0xfff == 0 {
+		if pops&0xff == 0 {
 			if err := ctx.Err(); err != nil {
-				return nil, err
+				return err
 			}
 		}
 		v := s.work[len(s.work)-1]
@@ -167,10 +217,22 @@ func SolveCtx(ctx context.Context, src pts.Source) (*Result, error) {
 			for _, z := range dv {
 				s.addEdge(int32(z), x)
 			}
+			if apps += len(dv); apps >= ctxCheckApps {
+				apps = 0
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
 		}
 		for _, y := range s.storesOf[v] { // *v = y
 			for _, z := range dv {
 				s.addEdge(y, int32(z))
+			}
+			if apps += len(dv); apps >= ctxCheckApps {
+				apps = 0
+				if err := ctx.Err(); err != nil {
+					return err
+				}
 			}
 		}
 		// Function-pointer linking: idempotent edge adds, so new
@@ -196,6 +258,12 @@ func SolveCtx(ctx context.Context, src pts.Source) (*Result, error) {
 						s.addEdge(int32(g.Ret), int32(r.Ret))
 					}
 				}
+				if apps += len(dv); apps >= ctxCheckApps {
+					apps = 0
+					if err := ctx.Err(); err != nil {
+						return err
+					}
+				}
 			}
 		}
 		// Propagate the delta along inclusion edges: every existing
@@ -208,10 +276,7 @@ func SolveCtx(ctx context.Context, src pts.Source) (*Result, error) {
 			}
 		}
 	}
-
-	res := &Result{pt: s.pt[:s.n], m: s.m}
-	pts.FinalizeMetrics(src, res, &res.m)
-	return res, nil
+	return nil
 }
 
 // extend allocates a virtual node (for *x = *y splitting).

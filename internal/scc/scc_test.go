@@ -1,0 +1,95 @@
+package scc
+
+import (
+	"reflect"
+	"testing"
+)
+
+func allLive(int32) bool { return true }
+
+func TestCondenseChain(t *testing.T) {
+	// 0 → 1 → 2: components pop in reverse topological order, so the
+	// sink gets id 0 and every edge leads to a smaller id.
+	adj := [][]int32{{1}, {2}, nil}
+	comp, members := Condense(adj, allLive)
+	if len(members) != 3 {
+		t.Fatalf("components = %d, want 3", len(members))
+	}
+	if comp[2] != 0 || comp[1] != 1 || comp[0] != 2 {
+		t.Errorf("comp = %v, want sink-first numbering", comp)
+	}
+	for v := range adj {
+		for _, w := range adj[v] {
+			if comp[w] >= comp[int32(v)] {
+				t.Errorf("edge %d→%d not descending in comp ids (%d→%d)",
+					v, w, comp[v], comp[w])
+			}
+		}
+	}
+	_, height, buckets := Level(comp, members, adj)
+	if height[comp[0]] != 2 || height[comp[1]] != 1 || height[comp[2]] != 0 {
+		t.Errorf("heights = %v", height)
+	}
+	if len(buckets) != 3 {
+		t.Errorf("buckets = %v, want 3 levels", buckets)
+	}
+}
+
+func TestCondenseCycle(t *testing.T) {
+	// 0 → 1 → 2 → 0 with an exit 2 → 3.
+	adj := [][]int32{{1}, {2}, {0, 3}, nil}
+	comp, members := Condense(adj, allLive)
+	if len(members) != 2 {
+		t.Fatalf("components = %d, want 2", len(members))
+	}
+	if comp[0] != comp[1] || comp[1] != comp[2] {
+		t.Errorf("cycle not collapsed: comp = %v", comp)
+	}
+	if comp[3] == comp[0] {
+		t.Errorf("exit node merged into cycle: comp = %v", comp)
+	}
+	_, height, buckets := Level(comp, members, adj)
+	if height[comp[0]] != 1 || height[comp[3]] != 0 {
+		t.Errorf("heights = %v", height)
+	}
+	if len(buckets[1]) != 1 || len(buckets[0]) != 1 {
+		t.Errorf("buckets = %v", buckets)
+	}
+}
+
+func TestCondenseDeadNodes(t *testing.T) {
+	// Node 1 is dead (unified away); only 0 and 2 are live.
+	adj := [][]int32{{2}, nil, nil}
+	live := func(v int32) bool { return v != 1 }
+	comp, members := Condense(adj, live)
+	if comp[1] != -1 {
+		t.Errorf("dead node got component %d", comp[1])
+	}
+	if len(members) != 2 {
+		t.Errorf("components = %d, want 2", len(members))
+	}
+}
+
+func TestCondenseDiamondIndependentLevel(t *testing.T) {
+	// 0 → {1, 2} → 3: nodes 1 and 2 are independent, so they share a
+	// height bucket in ascending component-id order.
+	adj := [][]int32{{1, 2}, {3}, {3}, nil}
+	comp, members := Condense(adj, allLive)
+	_, height, buckets := Level(comp, members, adj)
+	if height[comp[1]] != 1 || height[comp[2]] != 1 {
+		t.Fatalf("heights = %v", height)
+	}
+	mid := buckets[1]
+	if len(mid) != 2 || mid[0] >= mid[1] {
+		t.Errorf("level 1 bucket = %v, want two ascending comp ids", mid)
+	}
+}
+
+func TestCondenseDeterministic(t *testing.T) {
+	adj := [][]int32{{1, 3}, {2}, {1, 4}, {4}, nil}
+	c1, m1 := Condense(adj, allLive)
+	c2, m2 := Condense(adj, allLive)
+	if !reflect.DeepEqual(c1, c2) || !reflect.DeepEqual(m1, m2) {
+		t.Errorf("condensation not reproducible")
+	}
+}

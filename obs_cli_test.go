@@ -22,20 +22,39 @@ var (
 	bytesRE = regexp.MustCompile(`\+[0-9.]+(B|KB|MB)`)
 	tsRE    = regexp.MustCompile(`"(ts|dur)":[0-9.e+-]+`)
 	allocRE = regexp.MustCompile(`"alloc_bytes":[0-9]+`)
+	// -j >= 2 selects the phase-parallel wave fixpoint, a different (but
+	// equally deterministic) schedule than the -j 1 reference, so the
+	// schedule-dependent solver counters legitimately differ between the
+	// two modes. The analysis outcome rows (pointer vars, relations, in
+	// core, loaded, in file) stay byte-identical and are NOT normalized.
+	schedRowRE = regexp.MustCompile(`(?m)^(passes:|unifications:|cache hits:|cache misses:|edges added:)(\s+)\d+$`)
+	schedCtrRE = regexp.MustCompile(`(?m)^(\s*)(solver\.(passes|unifications|cache_hits|cache_misses|edges_added)|solve\.[a-z_]+)(\s+)\S+$`)
 )
 
-// normalizeStats strips wall-clock durations and allocation deltas from
-// a -stats report, leaving the structure and every count.
+// schedCounters lists the trace counter names that depend on which solve
+// schedule (sequential vs wave) ran.
+var schedCounters = []string{
+	"solver.passes", "solver.unifications", "solver.cache_hits",
+	"solver.cache_misses", "solver.edges_added", "solve.",
+}
+
+// normalizeStats strips wall-clock durations, allocation deltas and the
+// schedule-dependent solver counters from a -stats report, leaving the
+// structure and every outcome count.
 func normalizeStats(s string) string {
 	s = durRE.ReplaceAllString(s, "DUR")
 	s = bytesRE.ReplaceAllString(s, "+N")
+	s = schedRowRE.ReplaceAllString(s, "${1}${2}N")
+	s = schedCtrRE.ReplaceAllString(s, "${1}${2}${4}N")
 	return s
 }
 
 // normalizeTrace strips timestamps, durations, allocation figures and
-// the jobs-dependent pool.* counter lines from a Chrome trace.
+// the jobs-dependent pool.* and solve-schedule counter lines from a
+// Chrome trace.
 func normalizeTrace(s string) string {
 	var keep []string
+line:
 	for _, line := range strings.Split(s, "\n") {
 		if strings.Contains(line, `"pool.`) {
 			continue
@@ -43,6 +62,11 @@ func normalizeTrace(s string) string {
 		if strings.Contains(line, "heap_peak_bytes") {
 			// Heap high-water gauges are run-dependent, like wall times.
 			continue
+		}
+		for _, c := range schedCounters {
+			if strings.Contains(line, `"`+c) {
+				continue line
+			}
 		}
 		keep = append(keep, line)
 	}
