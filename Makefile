@@ -26,7 +26,7 @@ vet:
 # engine, the shared set layer and the query-serving layer must stay
 # race-clean and deterministic at any -j.
 race:
-	$(GO) test -race ./internal/core ./internal/driver ./internal/linker ./internal/parallel ./internal/pts/worklist ./internal/checks ./internal/pts/set ./internal/serve
+	$(GO) test -race ./internal/core ./internal/driver ./internal/linker ./internal/parallel ./internal/pts/worklist ./internal/checks ./internal/pts/set ./internal/serve ./internal/extmodel
 
 check: build fmt vet test race
 
@@ -38,13 +38,16 @@ bench:
 bench-smoke:
 	$(GO) test -run=^$$ -bench=. -benchtime=1x ./internal/pts/set ./internal/core
 
-# Short fuzz runs over the binary object-file reader, the trace encoder
-# and the adaptive set layer: corrupt inputs must error (never panic or
-# corrupt output), and set operations must match their map oracles.
+# Short fuzz runs over the binary object-file reader, the trace encoder,
+# the adaptive set layer and the extern-model path: corrupt inputs must
+# error (never panic or corrupt output), set operations must match their
+# map oracles, and the extern models must stay monotone and deterministic
+# on arbitrary translation units.
 fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzReader -fuzztime=10s ./internal/objfile
 	$(GO) test -run=^$$ -fuzz=FuzzTrace -fuzztime=10s ./internal/obs
 	$(GO) test -run=^$$ -fuzz=FuzzSetOps -fuzztime=10s ./internal/pts/set
+	$(GO) test -run=^$$ -fuzz=FuzzExterns -fuzztime=10s ./internal/extmodel
 
 clean:
 	$(GO) clean ./...

@@ -7,6 +7,7 @@ import (
 	"cla/internal/claerr"
 	"cla/internal/core"
 	"cla/internal/depend"
+	"cla/internal/extmodel"
 	"cla/internal/objfile"
 	"cla/internal/obs"
 	"cla/internal/prim"
@@ -39,9 +40,89 @@ const (
 	OneLevelFlow
 )
 
+// ExtModel selects how undefined externals are treated, making the
+// analysis sound on incomplete programs (libraries, single modules,
+// programs calling undefined library code).
+type ExtModel int
+
+// Extern models, from no modeling to full PIP-style closure.
+const (
+	// ExtModelUnsound ignores undefined externals: reads from them point
+	// nowhere. This is the classic (unsound) default and leaves the
+	// database byte-for-byte untouched.
+	ExtModelUnsound ExtModel = iota
+	// ExtModelBlanket adds one abstract external-world object: undefined
+	// functions return it, their pointer arguments escape into it, and
+	// undefined globals may point to it.
+	ExtModelBlanket
+	// ExtModelEscape is ExtModelBlanket plus mutual aliasing among escaped
+	// objects: external code may store any escaped pointer into any
+	// escaped object.
+	ExtModelEscape
+)
+
+// String returns the flag spelling ("unsound", "blanket", "escape").
+func (m ExtModel) String() string { return m.model().String() }
+
+func (m ExtModel) model() extmodel.Model {
+	switch m {
+	case ExtModelBlanket:
+		return extmodel.Blanket
+	case ExtModelEscape:
+		return extmodel.Escape
+	}
+	return extmodel.Unsound
+}
+
+// ParseExtModel parses a model name as spelled on the -extmodel flags;
+// the empty string selects ExtModelUnsound.
+func ParseExtModel(name string) (ExtModel, error) {
+	m, err := extmodel.ParseModel(name)
+	if err != nil {
+		return ExtModelUnsound, claerr.New(claerr.PhaseUsage, err)
+	}
+	switch m {
+	case extmodel.Blanket:
+		return ExtModelBlanket, nil
+	case extmodel.Escape:
+		return ExtModelEscape, nil
+	}
+	return ExtModelUnsound, nil
+}
+
+// UndefExtern is one referenced-but-undefined external symbol.
+type UndefExtern struct {
+	// Name is the symbol name; Func distinguishes functions from data.
+	Name string
+	Func bool
+	// File and Line locate the first reference.
+	File string
+	Line int
+}
+
+// Undefined inventories the externals the database references but does
+// not define, in stable order. A non-empty result means the database is
+// an incomplete program: analyzing it with ExtModelUnsound is unsound.
+func (db *Database) Undefined() []UndefExtern {
+	var out []UndefExtern
+	for _, u := range extmodel.Undefined(db.prog) {
+		out = append(out, UndefExtern{
+			Name: u.Name,
+			Func: u.Kind == prim.SymFunc,
+			File: u.Loc.File,
+			Line: int(u.Loc.Line),
+		})
+	}
+	return out
+}
+
 // AnalyzeOptions configures an analysis run.
 type AnalyzeOptions struct {
 	Algorithm Algorithm
+	// ExtModel closes the database over undefined externals before
+	// solving (see ExtModelUnsound). The database itself is not modified;
+	// non-unsound models analyze an extended copy.
+	ExtModel ExtModel
 	// NoCache disables reachability caching (ablation).
 	NoCache bool
 	// NoCycleElim disables cycle elimination (ablation).
@@ -57,6 +138,13 @@ type AnalyzeOptions struct {
 	// Observer, when non-nil, records the analyze phase and the solver
 	// counters; read them back with Analysis.Stats (see NewObserver).
 	Observer *Observer
+}
+
+func (o *AnalyzeOptions) extModel() ExtModel {
+	if o == nil {
+		return ExtModelUnsound
+	}
+	return o.ExtModel
 }
 
 func (o *AnalyzeOptions) observer() *obs.Observer {
@@ -82,6 +170,7 @@ type Analysis struct {
 	db  *Database
 	src pts.Source
 	res pts.Result
+	ext ExtModel        // the extern model the solve ran under
 	r   *objfile.Reader // non-nil for AnalyzeFile
 	o   *obs.Observer   // non-nil when an Observer was attached
 
@@ -98,14 +187,22 @@ func (db *Database) Analyze(opts *AnalyzeOptions) (*Analysis, error) {
 }
 
 // AnalyzeCtx is Analyze under a context: the solver fixpoint checks for
-// cancellation and returns ctx's error when it fires.
+// cancellation and returns ctx's error when it fires. Under a non-unsound
+// ExtModel the Analysis is backed by an extended copy of db (reachable via
+// Analysis.Database) holding the external-world symbols; db itself is
+// untouched.
 func (db *Database) AnalyzeCtx(ctx context.Context, opts *AnalyzeOptions) (*Analysis, error) {
-	src := pts.NewMemSource(db.prog)
+	adb := db
+	if m := opts.extModel(); m != ExtModelUnsound {
+		prog, _ := extmodel.ApplyClone(db.prog, m.model())
+		adb = &Database{prog: prog}
+	}
+	src := pts.NewMemSource(adb.prog)
 	res, err := solve(ctx, src, opts)
 	if err != nil {
 		return nil, claerr.New(claerr.PhaseAnalyze, err)
 	}
-	return &Analysis{db: db, src: src, res: res, o: opts.observer()}, nil
+	return &Analysis{db: adb, src: src, res: res, ext: opts.extModel(), o: opts.observer()}, nil
 }
 
 // AnalyzeFile opens a serialized database and analyzes it with demand
@@ -115,11 +212,28 @@ func AnalyzeFile(path string, opts *AnalyzeOptions) (*Analysis, error) {
 	return AnalyzeFileCtx(context.Background(), path, opts)
 }
 
-// AnalyzeFileCtx is AnalyzeFile under a context (see AnalyzeCtx).
+// AnalyzeFileCtx is AnalyzeFile under a context (see AnalyzeCtx). A
+// non-unsound ExtModel materializes the database into memory (the model's
+// constraints have no blocks in the file to demand-load from).
 func AnalyzeFileCtx(ctx context.Context, path string, opts *AnalyzeOptions) (*Analysis, error) {
 	r, err := objfile.Open(path)
 	if err != nil {
 		return nil, claerr.File(claerr.PhaseObject, path, err)
+	}
+	if m := opts.extModel(); m != ExtModelUnsound {
+		prog, err := r.Program()
+		r.Close()
+		if err != nil {
+			return nil, claerr.File(claerr.PhaseObject, path, err)
+		}
+		extmodel.Apply(prog, m.model())
+		src := pts.NewMemSource(prog)
+		res, err := solve(ctx, src, opts)
+		if err != nil {
+			return nil, claerr.File(claerr.PhaseAnalyze, path, err)
+		}
+		db := &Database{prog: prog}
+		return &Analysis{db: db, src: src, res: res, ext: m, o: opts.observer()}, nil
 	}
 	src := &pts.FileSource{R: r}
 	res, err := solve(ctx, src, opts)

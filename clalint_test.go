@@ -6,6 +6,7 @@ package cla
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -190,5 +191,66 @@ func TestClalintDeterminism(t *testing.T) {
 	eight := render("8")
 	if one != eight {
 		t.Fatalf("clalint output differs between -j 1 and -j 8:\n--- j=1 ---\n%s\n--- j=8 ---\n%s", one, eight)
+	}
+}
+
+// TestClalintExtModel covers the incomplete-program mode end to end:
+// -extmodel blanket suppresses the empty-points-to deref false positive,
+// enables the externs audit, and -format sarif emits a parseable SARIF
+// log carrying the audit. The unsound default must keep today's output.
+func TestClalintExtModel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	tools := buildTools(t, "clalint")
+	work := t.TempDir()
+
+	inc := filepath.Join(work, "inc.c")
+	os.WriteFile(inc, []byte(
+		"extern int **ext_table;\nint peek(void) { return **ext_table; }\n"), 0o644)
+
+	// Unsound default: the deref check fires, no externs output.
+	out, code := runExit(t, tools["clalint"], inc)
+	if code != 1 || !strings.Contains(out, "[deref]") {
+		t.Errorf("unsound run: exit %d, output %q", code, out)
+	}
+	if strings.Contains(out, "[externs]") {
+		t.Errorf("unsound run emitted externs diagnostics: %q", out)
+	}
+
+	// Blanket model: the false positive is gone, the audit takes over.
+	out, code = runExit(t, tools["clalint"], "-extmodel", "blanket", inc)
+	if code != 1 {
+		t.Errorf("blanket run: exit %d, want 1 (audit findings)", code)
+	}
+	if strings.Contains(out, "[deref]") {
+		t.Errorf("blanket run still reports deref: %q", out)
+	}
+	if !strings.Contains(out, "[externs]") || !strings.Contains(out, "ext_table") {
+		t.Errorf("blanket run missing externs audit: %q", out)
+	}
+
+	// SARIF output parses and carries the audit; identical at -j 1 and 8.
+	sarif1, code := runExit(t, tools["clalint"], "-extmodel", "escape", "-format", "sarif", "-j", "1", inc)
+	if code == 2 {
+		t.Fatalf("sarif run failed: %s", sarif1)
+	}
+	sarif8, _ := runExit(t, tools["clalint"], "-extmodel", "escape", "-format", "sarif", "-j", "8", inc)
+	if sarif1 != sarif8 {
+		t.Errorf("SARIF output differs between -j 1 and -j 8")
+	}
+	var log map[string]any
+	if err := json.Unmarshal([]byte(sarif1), &log); err != nil {
+		t.Fatalf("SARIF output is not JSON: %v\n%s", err, sarif1)
+	}
+	if !strings.Contains(sarif1, "externAudit") || !strings.Contains(sarif1, "\"2.1.0\"") {
+		t.Errorf("SARIF output missing audit or version:\n%s", sarif1)
+	}
+
+	if _, code = runExit(t, tools["clalint"], "-extmodel", "nosuch", inc); code != 2 {
+		t.Errorf("bad model: exit %d, want 2", code)
+	}
+	if _, code = runExit(t, tools["clalint"], "-format", "nosuch", inc); code != 2 {
+		t.Errorf("bad format: exit %d, want 2", code)
 	}
 }

@@ -12,6 +12,7 @@
 //	claan -stats src/                    # compile+link+analyze a directory
 //	claan -trace out.json program.cla    # Chrome trace of the run
 //	claan -solver pretrans|worklist|steens ...
+//	claan -extmodel blanket -pts p src/  # model undefined externals (PIP-style)
 package main
 
 import (
@@ -28,6 +29,7 @@ import (
 	"cla/internal/cpp"
 	"cla/internal/depend"
 	"cla/internal/driver"
+	"cla/internal/extmodel"
 	"cla/internal/frontend"
 	"cla/internal/objfile"
 	"cla/internal/obs"
@@ -44,6 +46,7 @@ func main() {
 		target     = flag.String("target", "", "dependence target object name")
 		nonTargets = flag.String("nontarget", "", "comma-separated non-target names")
 		solverName = flag.String("solver", "pretrans", "solver: pretrans, worklist, steens or bitvec")
+		extModel   = flag.String("extmodel", "unsound", "incomplete-program model: unsound, blanket or escape")
 		noCache    = flag.Bool("no-cache", false, "disable reachability caching")
 		noCycle    = flag.Bool("no-cycle-elim", false, "disable cycle elimination")
 		noDemand   = flag.Bool("no-demand-load", false, "load the whole database upfront")
@@ -66,6 +69,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "claan: %v\n", err)
 		os.Exit(2)
 	}
+	model, err := extmodel.ParseModel(*extModel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "claan: %v\n", err)
+		os.Exit(2)
+	}
 	cfg := core.Config{Cache: !*noCache, CycleElim: !*noCycle, DemandLoad: !*noDemand, Jobs: *jobs}
 
 	o := obsFlags.Observer()
@@ -75,7 +83,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	r, err := openDatabase(flag.Args(), *jobs, o)
+	r, err := openDatabase(flag.Args(), *jobs, model, o)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "claan: %v\n", err)
 		os.Exit(1)
@@ -178,23 +186,35 @@ func printStats(w *os.File, o *obs.Observer, solver driver.Solver, src pts.Sourc
 // openDatabase resolves the inputs to an objfile reader. A single
 // non-.c file opens directly; a directory or .c files are compiled and
 // linked in-process, then round-tripped through the object format in
-// memory so the analysis exercises the real demand-loading path.
-func openDatabase(args []string, jobs int, o *obs.Observer) (*objfile.Reader, error) {
-	if len(args) == 1 {
-		info, err := os.Stat(args[0])
-		if err != nil {
-			return nil, err
-		}
-		if !info.IsDir() && filepath.Ext(args[0]) != ".c" {
-			return objfile.Open(args[0])
-		}
-	}
+// memory so the analysis exercises the real demand-loading path. Under an
+// extern model the database (file-backed or not) is materialized, closed
+// with the model's constraints and round-tripped, so the reader also
+// resolves the synthesized external-world symbols.
+func openDatabase(args []string, jobs int, model extmodel.Model, o *obs.Observer) (*objfile.Reader, error) {
 	var prog *prim.Program
 	var err error
 	if len(args) == 1 {
-		if info, statErr := os.Stat(args[0]); statErr == nil && info.IsDir() {
+		info, statErr := os.Stat(args[0])
+		if statErr != nil {
+			return nil, statErr
+		}
+		switch {
+		case !info.IsDir() && filepath.Ext(args[0]) != ".c":
+			if model == extmodel.Unsound {
+				return objfile.Open(args[0])
+			}
+			r, err := objfile.Open(args[0])
+			if err != nil {
+				return nil, err
+			}
+			prog, err = r.Program()
+			r.Close()
+			if err != nil {
+				return nil, err
+			}
+		case info.IsDir():
 			prog, err = driver.CompileDirObs(args[0], frontend.Options{}, jobs, o)
-		} else {
+		default:
 			prog, err = compileUnits(args, jobs, o)
 		}
 	} else {
@@ -203,6 +223,7 @@ func openDatabase(args []string, jobs int, o *obs.Observer) (*objfile.Reader, er
 	if err != nil {
 		return nil, err
 	}
+	extmodel.Apply(prog, model)
 	var buf bytes.Buffer
 	if err := objfile.Write(&buf, prog); err != nil {
 		return nil, err

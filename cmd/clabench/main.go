@@ -14,6 +14,7 @@
 //	clabench -table 10                   # set machinery: time/alloc/live per solver
 //	clabench -table 11 -j 8              # query serving: qps + latency percentiles
 //	clabench -table 12                   # phase-parallel wave fixpoint: seq vs wave solve
+//	clabench -table 13                   # real-C corpus conformance per extern model
 //	clabench -all                        # everything
 //
 // Absolute times depend on the host; the shapes (who wins, by what
@@ -34,7 +35,7 @@ import (
 
 func main() {
 	var (
-		table     = flag.Int("table", 0, "table to regenerate (2-11)")
+		table     = flag.Int("table", 0, "table to regenerate (2-13)")
 		all       = flag.Bool("all", false, "regenerate every table")
 		scale     = flag.Float64("scale", 1.0, "workload scale factor")
 		seed      = flag.Int64("seed", 1, "generation seed")
@@ -46,13 +47,15 @@ func main() {
 		setsOut   = flag.String("sets-json", "BENCH_sets.json", "file recording the set-machinery rows (empty to skip)")
 		serveOut  = flag.String("serve-json", "BENCH_serve.json", "file recording the query-serving rows (empty to skip)")
 		solveOut  = flag.String("solve-json", "BENCH_solve.json", "file recording the wave-fixpoint rows (empty to skip)")
+		corpus    = flag.String("corpus", "examples/corpus", "C source directory for the conformance table")
+		corpusOut = flag.String("corpus-json", "BENCH_corpus.json", "file recording the corpus-conformance rows (empty to skip)")
 		queries   = flag.Int("queries", 2000, "queries per workload for the query-serving table")
 	)
 	obsFlags := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
 
-	if !*all && (*table < 2 || *table > 12) {
-		fmt.Fprintln(os.Stderr, "clabench: pass -all or -table 2..12")
+	if !*all && (*table < 2 || *table > 13) {
+		fmt.Fprintln(os.Stderr, "clabench: pass -all or -table 2..13")
 		os.Exit(2)
 	}
 	o := obsFlags.Observer()
@@ -269,6 +272,25 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Fprintf(os.Stderr, "clabench: wrote %s\n", *solveOut)
+		}
+		tsp.End()
+	}
+	if need(13) {
+		tsp := span("table 13")
+		fmt.Printf("== Real-C corpus conformance: extern models over %s ==\n", *corpus)
+		rows, err := bench.RunCorpus(*corpus, *jobs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "clabench: %v\n", err)
+			os.Exit(1)
+		}
+		bench.FormatCorpus(os.Stdout, rows)
+		if *corpusOut != "" {
+			meta := bench.NewMeta("corpus-conformance", *jobs, *scale, *seed)
+			if err := bench.WriteCorpusJSON(*corpusOut, rows, meta); err != nil {
+				fmt.Fprintf(os.Stderr, "clabench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "clabench: wrote %s\n", *corpusOut)
 		}
 		tsp.End()
 	}

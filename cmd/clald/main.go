@@ -4,6 +4,7 @@
 // Usage:
 //
 //	clald -o program.cla file1.clo file2.clo ...
+//	clald -undef -o program.cla file1.clo ...   # also list undefined externals
 package main
 
 import (
@@ -12,15 +13,18 @@ import (
 	"os"
 
 	"cla/internal/driver"
+	"cla/internal/extmodel"
 	"cla/internal/linker"
 	"cla/internal/objfile"
 	"cla/internal/obs"
 	"cla/internal/parallel"
+	"cla/internal/prim"
 )
 
 func main() {
 	out := flag.String("o", "a.cla", "output database")
 	verbose := flag.Bool("v", false, "print link statistics")
+	undef := flag.Bool("undef", false, "print referenced-but-undefined globals and functions")
 	obsFlags := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -44,6 +48,15 @@ func main() {
 		os.Exit(1)
 	}
 	wsp.End()
+	if *undef {
+		for _, u := range extmodel.Undefined(merged) {
+			kind := "global"
+			if u.Kind == prim.SymFunc {
+				kind = "func"
+			}
+			fmt.Printf("undef %-6s %s (%s)\n", kind, u.Name, u.Loc)
+		}
+	}
 	if *verbose {
 		counts := merged.CountByKind()
 		total := 0

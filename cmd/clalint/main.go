@@ -13,6 +13,12 @@
 //	clalint -dot cg.dot -json cg.json src/  # export the call graph
 //	clalint -modref src/                    # print MOD/REF summaries
 //	clalint -solver steens -j 4 src/
+//	clalint -extmodel blanket src/          # sound incomplete-program mode
+//	clalint -format sarif src/ > out.sarif  # SARIF 2.1.0 output
+//
+// With -extmodel blanket or escape, undefined externals are modeled as an
+// abstract external world (see internal/extmodel) and the externs
+// soundness audit joins the default checks.
 //
 // Exit status: 0 when no findings, 1 when any check reported a finding,
 // 2 on usage or processing errors. Diagnostics go to stdout as
@@ -32,6 +38,7 @@ import (
 	"cla/internal/core"
 	"cla/internal/cpp"
 	"cla/internal/driver"
+	"cla/internal/extmodel"
 	"cla/internal/frontend"
 	"cla/internal/objfile"
 	"cla/internal/obs"
@@ -52,6 +59,8 @@ func run() int {
 		dotOut     = flag.String("dot", "", "write the resolved call graph as Graphviz dot to this file")
 		jsonOut    = flag.String("json", "", "write the resolved call graph as JSON to this file")
 		modref     = flag.Bool("modref", false, "print per-function MOD/REF summaries")
+		extModel   = flag.String("extmodel", "unsound", "incomplete-program model: unsound, blanket or escape")
+		format     = flag.String("format", "text", "diagnostic output format: text or sarif")
 		includes   = flag.String("I", "", "comma-separated #include search directories")
 		defines    = flag.String("D", "", "comma-separated predefined macros (NAME or NAME=VALUE)")
 	)
@@ -66,6 +75,15 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "clalint: %v\n", err)
 		return 2
 	}
+	model, err := extmodel.ParseModel(*extModel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "clalint: %v\n", err)
+		return 2
+	}
+	if *format != "text" && *format != "sarif" {
+		fmt.Fprintf(os.Stderr, "clalint: unknown format %q (want text or sarif)\n", *format)
+		return 2
+	}
 	var selected []checks.Check
 	if *checkList != "" {
 		selected, err = checks.ParseChecks(strings.Split(*checkList, ","))
@@ -73,6 +91,9 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "clalint: %v\n", err)
 			return 2
 		}
+	} else if model != extmodel.Unsound {
+		// Modeling was requested, so the soundness audit rides along.
+		selected = checks.AllChecksAudited()
 	}
 	o := obsFlags.Observer()
 	parallel.SetObserver(o)
@@ -86,6 +107,7 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "clalint: %v\n", err)
 		return 2
 	}
+	extmodel.Apply(prog, model)
 
 	cfg := core.DefaultConfig()
 	cfg.Jobs = *jobs
@@ -95,7 +117,9 @@ func run() int {
 		return 2
 	}
 
-	rep, err := checks.Run(prog, res, checks.Options{Checks: selected, Jobs: *jobs, Obs: o})
+	rep, err := checks.Run(prog, res, checks.Options{
+		Checks: selected, Jobs: *jobs, ExtModel: model.String(), Obs: o,
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "clalint: %v\n", err)
 		return 2
@@ -127,7 +151,16 @@ func run() int {
 		}
 	}
 
-	rep.Format(os.Stdout)
+	if *format == "sarif" {
+		out, err := rep.SARIF()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "clalint: %v\n", err)
+			return 2
+		}
+		os.Stdout.Write(append(out, '\n'))
+	} else {
+		rep.Format(os.Stdout)
+	}
 	if *modref {
 		for _, s := range rep.ModRef {
 			name := s.Func

@@ -43,6 +43,7 @@ import (
 
 	"cla/internal/claerr"
 	"cla/internal/driver"
+	"cla/internal/extmodel"
 	"cla/internal/obs"
 	"cla/internal/parallel"
 	"cla/internal/serve"
@@ -55,6 +56,7 @@ func main() {
 		name       = flag.String("name", "", "session name (default: input basename)")
 		includes   = flag.String("I", "", "comma-separated extra include directories (directory inputs)")
 		solverName = flag.String("solver", "pretrans", "solver: pretrans, worklist, steens, bitvec or onelevel")
+		extModel   = flag.String("extmodel", "unsound", "incomplete-program model: unsound, blanket or escape")
 		jobs       = flag.Int("j", runtime.GOMAXPROCS(0), "workers for compilation, analysis and batch queries")
 		deadline   = flag.Duration("deadline", 0, "per-request evaluation deadline (0 = none)")
 		grace      = flag.Duration("grace", 10*time.Second, "drain timeout on shutdown")
@@ -63,18 +65,22 @@ func main() {
 	obsFlags := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
 	if err := run(flag.Args(), *listen, *unixSock, *name, *includes, *solverName,
-		*jobs, *deadline, *grace, *ready, obsFlags); err != nil {
+		*extModel, *jobs, *deadline, *grace, *ready, obsFlags); err != nil {
 		fmt.Fprintf(os.Stderr, "claserve: %v\n", err)
 		os.Exit(claerr.ExitCode(err))
 	}
 }
 
-func run(args []string, listen, unixSock, name, includes, solverName string,
+func run(args []string, listen, unixSock, name, includes, solverName, extModel string,
 	jobs int, deadline, grace time.Duration, ready bool, obsFlags *obs.Flags) error {
 	if len(args) == 0 {
 		return claerr.Newf(claerr.PhaseUsage, "need a .cla database or a source directory")
 	}
 	solver, err := driver.ParseSolver(solverName)
+	if err != nil {
+		return claerr.New(claerr.PhaseUsage, err)
+	}
+	model, err := extmodel.ParseModel(extModel)
 	if err != nil {
 		return claerr.New(claerr.PhaseUsage, err)
 	}
@@ -88,7 +94,7 @@ func run(args []string, listen, unixSock, name, includes, solverName string,
 	if includes != "" {
 		incDirs = strings.Split(includes, ",")
 	}
-	cfg := serve.Config{Solver: solver, Jobs: jobs, Includes: incDirs, Obs: o}
+	cfg := serve.Config{Solver: solver, ExtModel: model, Jobs: jobs, Includes: incDirs, Obs: o}
 	reg := serve.NewRegistry()
 	for _, path := range args {
 		n := name

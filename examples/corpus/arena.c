@@ -1,0 +1,59 @@
+/* Bump allocator over a static block, spilling oversized requests to
+ * malloc.  Spilled blocks are chained so arena_reset can return them. */
+#include "corpus.h"
+
+#define ARENA_SIZE 4096
+
+static char block[ARENA_SIZE];
+static size_t used;
+
+struct spill {
+	struct spill *next;
+	void *mem;
+};
+static struct spill *spills;
+
+void *arena_alloc(size_t n)
+{
+	void *out;
+
+	n = (n + 7) & ~(size_t)7;
+	if (used + n <= ARENA_SIZE) {
+		out = block + used;
+		used = used + n;
+		return out;
+	}
+	out = malloc(n);
+	if (!out)
+		abort();
+	{
+		struct spill *s = malloc(sizeof(struct spill));
+		if (!s)
+			abort();
+		s->mem = out;
+		s->next = spills;
+		spills = s;
+	}
+	return out;
+}
+
+char *arena_strdup(const char *s)
+{
+	size_t n = strlen(s) + 1;
+	char *out = arena_alloc(n);
+
+	memcpy(out, s, n);
+	return out;
+}
+
+void arena_reset(void)
+{
+	while (spills) {
+		struct spill *s = spills;
+		spills = s->next;
+		free(s->mem);
+		free(s);
+	}
+	used = 0;
+	memset(block, 0, ARENA_SIZE);
+}

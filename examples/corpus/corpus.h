@@ -1,0 +1,58 @@
+/* Shared declarations for the conformance corpus.
+ *
+ * The libc surface is declared but never defined: the corpus is an
+ * intentionally incomplete program, the shape CLA's extern models
+ * (-extmodel blanket|escape) exist for.  Everything else is the corpus's
+ * own cross-file API.
+ */
+#ifndef CORPUS_H
+#define CORPUS_H
+
+typedef unsigned long size_t;
+
+/* Undefined external code: the allocator and string routines. */
+extern void *malloc(size_t n);
+extern void *realloc(void *p, size_t n);
+extern void *calloc(size_t n, size_t sz);
+extern void free(void *p);
+extern void *memcpy(void *dst, const void *src, size_t n);
+extern void *memset(void *p, int c, size_t n);
+extern size_t strlen(const char *s);
+extern int strcmp(const char *a, const char *b);
+extern char *strchr(const char *s, int c);
+extern void abort(void);
+extern char *getenv(const char *name);
+
+/* strbuf.c: growable byte buffer. */
+struct strbuf {
+	char *data;
+	size_t len, cap;
+};
+void sb_init(struct strbuf *sb);
+void sb_putc(struct strbuf *sb, char c);
+void sb_puts(struct strbuf *sb, const char *s);
+char *sb_detach(struct strbuf *sb);
+
+/* arena.c: bump allocator with a malloc spill path. */
+void *arena_alloc(size_t n);
+char *arena_strdup(const char *s);
+void arena_reset(void);
+
+/* intern.c: string interning over an open-addressing table. */
+const char *intern(const char *s);
+size_t intern_count(void);
+
+/* list.c: intrusive doubly-linked list. */
+struct link {
+	struct link *prev, *next;
+};
+void list_init(struct link *head);
+void list_push(struct link *head, struct link *node);
+struct link *list_pop(struct link *head);
+
+/* log.c: leveled logging through a pluggable sink. */
+typedef void (*log_sink)(int level, const char *msg);
+void log_set_sink(log_sink fn);
+void log_emit(int level, const char *msg);
+
+#endif /* CORPUS_H */

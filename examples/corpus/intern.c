@@ -1,0 +1,40 @@
+/* String interning over a fixed open-addressing table: equal strings
+ * share one arena copy, so callers may compare interned pointers. */
+#include "corpus.h"
+
+#define TABLE_SIZE 256
+
+static const char *table[TABLE_SIZE];
+static size_t count;
+
+static size_t hash(const char *s)
+{
+	size_t h = 5381;
+
+	while (*s) {
+		h = h * 33 + (size_t)*s;
+		s = s + 1;
+	}
+	return h;
+}
+
+const char *intern(const char *s)
+{
+	size_t i = hash(s) % TABLE_SIZE;
+
+	while (table[i]) {
+		if (strcmp(table[i], s) == 0)
+			return table[i];
+		i = (i + 1) % TABLE_SIZE;
+	}
+	if (count + 1 >= TABLE_SIZE)
+		abort();
+	table[i] = arena_strdup(s);
+	count = count + 1;
+	return table[i];
+}
+
+size_t intern_count(void)
+{
+	return count;
+}

@@ -1,0 +1,30 @@
+/* Intrusive circular doubly-linked list, kernel style: the head is a
+ * sentinel and nodes live inside their owning structs. */
+#include "corpus.h"
+
+void list_init(struct link *head)
+{
+	head->prev = head;
+	head->next = head;
+}
+
+void list_push(struct link *head, struct link *node)
+{
+	node->prev = head->prev;
+	node->next = head;
+	head->prev->next = node;
+	head->prev = node;
+}
+
+struct link *list_pop(struct link *head)
+{
+	struct link *node = head->next;
+
+	if (node == head)
+		return 0;
+	head->next = node->next;
+	node->next->prev = head;
+	node->prev = 0;
+	node->next = 0;
+	return node;
+}

@@ -1,0 +1,42 @@
+/* Leveled logging through a pluggable sink.  The default sink hands the
+ * message to an undefined external writer, so under -extmodel every
+ * logged string escapes to the external world -- exactly what the
+ * soundness audit should report. */
+#include "corpus.h"
+
+extern void ext_write(int fd, const char *msg, size_t n);
+extern void (*ext_fatal_handler)(int level, const char *msg);
+
+static int threshold = 1;
+static log_sink sink;
+
+static void default_sink(int level, const char *msg)
+{
+	ext_write(2, msg, strlen(msg));
+	(void)level;
+}
+
+void log_set_sink(log_sink fn)
+{
+	sink = fn;
+}
+
+void log_emit(int level, const char *msg)
+{
+	log_sink fn = sink;
+
+	if (level < threshold)
+		return;
+	if (!fn)
+		fn = default_sink;
+	fn(level, msg);
+}
+
+/* Fatal errors dispatch through a handler installed by the (undefined)
+ * embedding runtime before giving up. */
+void log_fatal(const char *msg)
+{
+	if (ext_fatal_handler)
+		ext_fatal_handler(3, msg);
+	abort();
+}

@@ -1,0 +1,52 @@
+/* Growable byte buffer in the idiom of git's strbuf: amortized doubling,
+ * detach hands the storage to the caller. */
+#include "corpus.h"
+
+void sb_init(struct strbuf *sb)
+{
+	sb->data = 0;
+	sb->len = 0;
+	sb->cap = 0;
+}
+
+static void sb_grow(struct strbuf *sb, size_t extra)
+{
+	size_t want = sb->len + extra;
+	char *next;
+
+	if (want <= sb->cap)
+		return;
+	if (sb->cap == 0)
+		sb->cap = 16;
+	while (sb->cap < want)
+		sb->cap = sb->cap * 2;
+	next = realloc(sb->data, sb->cap);
+	if (!next)
+		abort();
+	sb->data = next;
+}
+
+void sb_putc(struct strbuf *sb, char c)
+{
+	sb_grow(sb, 2);
+	sb->data[sb->len] = c;
+	sb->len = sb->len + 1;
+	sb->data[sb->len] = 0;
+}
+
+void sb_puts(struct strbuf *sb, const char *s)
+{
+	size_t n = strlen(s);
+
+	sb_grow(sb, n + 1);
+	memcpy(sb->data + sb->len, s, n + 1);
+	sb->len = sb->len + n;
+}
+
+char *sb_detach(struct strbuf *sb)
+{
+	char *out = sb->data;
+
+	sb_init(sb);
+	return out;
+}

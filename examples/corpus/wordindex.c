@@ -1,0 +1,76 @@
+/* Word index: splits lines into interned words and keeps per-word hit
+ * counts on an intrusive list.  Exercises struct fields, the interner,
+ * strbuf composition and list traversal together. */
+#include "corpus.h"
+
+struct hit {
+	struct link link;
+	const char *word;
+	int count;
+};
+
+static struct link hits;
+static int ready;
+
+static struct hit *find(const char *word)
+{
+	struct link *l;
+
+	for (l = hits.next; l != &hits; l = l->next) {
+		struct hit *h = (struct hit *)l;
+		if (h->word == word)
+			return h;
+	}
+	return 0;
+}
+
+void index_word(const char *raw)
+{
+	const char *word = intern(raw);
+	struct hit *h;
+
+	if (!ready) {
+		list_init(&hits);
+		ready = 1;
+	}
+	h = find(word);
+	if (!h) {
+		h = arena_alloc(sizeof(struct hit));
+		h->word = word;
+		h->count = 0;
+		list_push(&hits, &h->link);
+	}
+	h->count = h->count + 1;
+}
+
+void index_line(const char *line)
+{
+	struct strbuf word;
+	const char *p;
+
+	sb_init(&word);
+	for (p = line; *p; p = p + 1) {
+		if (*p == ' ' || *p == '\t') {
+			if (word.len > 0) {
+				index_word(word.data);
+				sb_init(&word);
+			}
+			continue;
+		}
+		sb_putc(&word, *p);
+	}
+	if (word.len > 0)
+		index_word(word.data);
+}
+
+int index_hits(const char *raw)
+{
+	struct hit *h;
+
+	if (!ready)
+		return 0;
+	h = find(intern(raw));
+	if (!h)
+		return 0;
+	return h->count;
+}

@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// corpusDir locates the vendored real-C corpus relative to this package.
+const corpusDir = "../../examples/corpus"
+
+// TestRunCorpus is the conformance smoke: the corpus must parse, every
+// extern model must solve, the deref false positives must vanish under
+// the modeled rows, and inflation must grow monotonically with model
+// strength.
+func TestRunCorpus(t *testing.T) {
+	rows, err := RunCorpus(corpusDir, 1)
+	if err != nil {
+		t.Fatalf("RunCorpus: %v", err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want one per model", len(rows))
+	}
+	byModel := map[string]RowCorpus{}
+	for _, r := range rows {
+		byModel[r.Model] = r
+	}
+
+	unsound := byModel["unsound"]
+	if unsound.Files == 0 || unsound.Lines == 0 {
+		t.Fatalf("corpus empty: %+v", unsound)
+	}
+	if unsound.UndefFuncs == 0 || unsound.UndefGlobals == 0 {
+		t.Errorf("corpus must reference undefined functions and globals: %+v", unsound)
+	}
+	if unsound.Derefs == 0 {
+		t.Errorf("unsound run should report deref false positives, got none")
+	}
+	if unsound.Inflation != 1.0 {
+		t.Errorf("unsound inflation = %v, want 1.0", unsound.Inflation)
+	}
+
+	for _, m := range []string{"blanket", "escape"} {
+		r := byModel[m]
+		if r.Derefs != 0 {
+			t.Errorf("%s: deref count = %d, want 0 (false positives modeled away)", m, r.Derefs)
+		}
+		if r.DerefDowngraded == 0 || r.CallsDowngraded == 0 {
+			t.Errorf("%s: downgraded = %d+%d, want both nonzero", m, r.DerefDowngraded, r.CallsDowngraded)
+		}
+		if r.Inflation < 1.0 {
+			t.Errorf("%s: inflation = %v < 1, model lost facts", m, r.Inflation)
+		}
+	}
+	if byModel["escape"].PtsSize < byModel["blanket"].PtsSize {
+		t.Errorf("escape pts %d < blanket pts %d, models not monotone",
+			byModel["escape"].PtsSize, byModel["blanket"].PtsSize)
+	}
+
+	var buf bytes.Buffer
+	FormatCorpus(&buf, rows)
+	if !strings.Contains(buf.String(), "inflation") || !strings.Contains(buf.String(), "escape") {
+		t.Errorf("FormatCorpus output missing columns:\n%s", buf.String())
+	}
+}

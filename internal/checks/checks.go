@@ -16,6 +16,10 @@
 //     value outlives its frame.
 //   - deref: dereference sites whose pointer has an empty points-to set,
 //     i.e. null/uninitialized-pointer dereference candidates.
+//   - externs (opt-in): the incomplete-program soundness audit — the
+//     referenced-but-undefined symbol inventory plus "verdict downgraded
+//     by incompleteness" annotations on sites whose only evidence is the
+//     external model of internal/extmodel.
 //
 // Determinism contract: Run produces identical output at every Jobs
 // setting. Work is fanned out with internal/parallel over index-addressed
@@ -30,6 +34,7 @@ import (
 	"io"
 	"sort"
 
+	"cla/internal/extmodel"
 	"cla/internal/obs"
 	"cla/internal/parallel"
 	"cla/internal/prim"
@@ -45,10 +50,18 @@ const (
 	ModRef    Check = "modref"
 	Escape    Check = "escape"
 	Deref     Check = "deref"
+	// Externs is the incomplete-program soundness audit: the undefined-
+	// external inventory plus "verdict downgraded by incompleteness"
+	// annotations. It is not part of AllChecks — callers opt in (clalint
+	// enables it automatically when an -extmodel is selected).
+	Externs Check = "externs"
 )
 
-// AllChecks lists every check in canonical order.
+// AllChecks lists every default check in canonical order.
 func AllChecks() []Check { return []Check{CallGraph, ModRef, Escape, Deref} }
+
+// AllChecksAudited is AllChecks plus the externs soundness audit.
+func AllChecksAudited() []Check { return append(AllChecks(), Externs) }
 
 // ParseChecks validates a list of check names (e.g. from a CLI flag).
 func ParseChecks(names []string) ([]Check, error) {
@@ -56,7 +69,7 @@ func ParseChecks(names []string) ([]Check, error) {
 	for _, n := range names {
 		c := Check(n)
 		switch c {
-		case CallGraph, ModRef, Escape, Deref:
+		case CallGraph, ModRef, Escape, Deref, Externs:
 			out = append(out, c)
 		default:
 			return nil, fmt.Errorf("checks: unknown check %q", n)
@@ -72,6 +85,10 @@ type Options struct {
 	// Jobs bounds the workers used inside each check (0 = all cores,
 	// 1 = sequential). Output is identical at every setting.
 	Jobs int
+	// ExtModel is the display label of the extern model the analysis ran
+	// under ("unsound", "blanket", "escape"); the externs audit records it.
+	// Empty means the label is inferred from the database.
+	ExtModel string
 	// Obs, when non-nil, records one span per check plus checks.*
 	// diagnostic counters.
 	Obs *obs.Observer
@@ -101,6 +118,9 @@ type Report struct {
 	// ModRef holds per-function summaries sorted by function name (nil
 	// unless modref ran).
 	ModRef []Summary
+	// Audit is the incomplete-program soundness audit (nil unless the
+	// externs check ran).
+	Audit *Audit
 }
 
 // Format renders the diagnostics one per line.
@@ -182,6 +202,21 @@ func Run(prog *prim.Program, res pts.Result, opts Options) (*Report, error) {
 		}
 		rep.Diags = append(rep.Diags, diags...)
 	}
+	if has(Externs) {
+		xsp := sp.Child("check:externs")
+		diags, audit, err := externsCheck(ix, opts.Jobs, opts.ExtModel)
+		xsp.End()
+		if err != nil {
+			return nil, err
+		}
+		rep.Diags = append(rep.Diags, diags...)
+		rep.Audit = audit
+		for i := range rep.ModRef {
+			if rep.ModRef[i].Incomplete {
+				audit.ModRefIncomplete++
+			}
+		}
+	}
 	sortDiags(rep.Diags)
 	if opts.Obs.Enabled() {
 		opts.Obs.SetCounter("checks.diags", int64(len(rep.Diags)))
@@ -229,6 +264,11 @@ type index struct {
 	// retOwner maps a function's standardized return symbol to the
 	// function symbol it belongs to, for real functions only.
 	retOwner map[prim.SymID]prim.SymID
+	// ext is the external-world object synthesized by internal/extmodel,
+	// or NoSym when the analysis ran without an extern model.
+	ext prim.SymID
+	// extFn is the external stand-in function, or NoSym.
+	extFn prim.SymID
 }
 
 func buildIndex(prog *prim.Program, res pts.Result) *index {
@@ -237,6 +277,8 @@ func buildIndex(prog *prim.Program, res pts.Result) *index {
 		res:            res,
 		assignsByScope: map[string][]int{},
 		retOwner:       map[prim.SymID]prim.SymID{},
+		ext:            prim.NoSym,
+		extFn:          prim.NoSym,
 	}
 	seen := map[string]bool{}
 	for i := range prog.Assigns {
@@ -255,8 +297,16 @@ func buildIndex(prog *prim.Program, res pts.Result) *index {
 	}
 	sort.Strings(ix.scopes)
 	for i := range prog.Syms {
-		if prog.Syms[i].Kind == prim.SymFunc {
+		switch {
+		case prog.Syms[i].Kind == prim.SymFunc:
 			ix.funcSyms = append(ix.funcSyms, prim.SymID(i))
+			if ix.extFn == prim.NoSym && prog.Syms[i].Name == extmodel.ExtFnName {
+				ix.extFn = prim.SymID(i)
+			}
+		case prog.Syms[i].Kind == prim.SymExtern:
+			if ix.ext == prim.NoSym {
+				ix.ext = prim.SymID(i)
+			}
 		}
 	}
 	for _, f := range prog.Funcs {

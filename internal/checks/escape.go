@@ -22,7 +22,8 @@ func escapeCheck(ix *index, jobs int) ([]Diagnostic, error) {
 	for i := range ix.prog.Syms {
 		id := prim.SymID(i)
 		switch ix.prog.Syms[i].Kind {
-		case prim.SymGlobal, prim.SymStatic, prim.SymField, prim.SymHeap:
+		case prim.SymGlobal, prim.SymStatic, prim.SymField, prim.SymHeap,
+			prim.SymExtern:
 			sinks = append(sinks, sink{id: id, ret: prim.NoSym})
 		case prim.SymRet:
 			if owner, ok := ix.retOwner[id]; ok {
@@ -40,11 +41,16 @@ func escapeCheck(ix *index, jobs int) ([]Diagnostic, error) {
 				continue
 			}
 			var msg string
-			if s.ret != prim.NoSym {
+			switch {
+			case s.ret != prim.NoSym:
 				msg = fmt.Sprintf(
 					"address of local '%s' may be returned by '%s', outliving its frame",
 					local.Name, ix.name(s.ret))
-			} else {
+			case ix.sym(s.id).Kind == prim.SymExtern:
+				msg = fmt.Sprintf(
+					"address of local '%s' may escape to the external world, outliving its frame",
+					local.Name)
+			default:
 				msg = fmt.Sprintf(
 					"address of local '%s' may be stored in %s '%s', outliving its frame",
 					local.Name, ix.sym(s.id).Kind, ix.name(s.id))

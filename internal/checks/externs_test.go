@@ -1,0 +1,195 @@
+package checks
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"cla/internal/extmodel"
+	"cla/internal/prim"
+)
+
+// incompleteSrc dereferences a pointer whose only definition is an
+// undefined extern, passes a local's address to an unknown function, and
+// calls through a pointer that may hold external code.
+const incompleteSrc = `
+extern int **ext_table;
+extern char *ext_dup(char *s);
+extern void ext_note(int *p);
+extern void (*ext_cb)(void);
+
+char *copy;
+int observed;
+
+int peek(void) { return **ext_table; }
+void stash(void) { int slot; ext_note(&slot); copy = ext_dup(0); }
+void fire(void) { ext_cb(); }
+`
+
+// runModel compiles incompleteSrc, applies the model, solves and runs the
+// default checks plus the externs audit.
+func runModel(t *testing.T, m extmodel.Model, jobs int) *Report {
+	t.Helper()
+	prog := compile(t, incompleteSrc)
+	extmodel.Apply(prog, m)
+	res := solve(t, prog, 0) // driver.PreTransitive
+	rep, err := Run(prog, res, Options{
+		Checks:   AllChecksAudited(),
+		Jobs:     jobs,
+		ExtModel: m.String(),
+	})
+	if err != nil {
+		t.Fatalf("checks: %v", err)
+	}
+	return rep
+}
+
+// TestDerefIncompleteProgram is the regression for the deref false
+// positive on incomplete programs: a pointer whose only definition is an
+// undefined extern must point to the external world under blanket/escape
+// (suppressing the empty-points-to report), while unsound keeps today's
+// diagnostic byte for byte.
+func TestDerefIncompleteProgram(t *testing.T) {
+	unsound := runModel(t, extmodel.Unsound, 1)
+	derefs := diagStrings(unsound, Deref)
+	wantTable := false
+	for _, d := range derefs {
+		if strings.Contains(d, "'ext_table'") {
+			wantTable = true
+		}
+	}
+	if !wantTable {
+		t.Fatalf("unsound: deref diagnostics %v miss ext_table", derefs)
+	}
+	if unsound.Audit == nil || unsound.Audit.Modeled {
+		t.Fatalf("unsound audit = %+v, want unmodeled", unsound.Audit)
+	}
+	// ext_dup and ext_note are undefined functions; ext_table and the
+	// function pointer ext_cb are undefined globals.
+	if len(unsound.Audit.UndefFuncs) != 2 || len(unsound.Audit.UndefGlobals) != 2 {
+		t.Fatalf("unsound audit inventory = %+v, want 2 funcs / 2 globals",
+			unsound.Audit)
+	}
+
+	for _, m := range []extmodel.Model{extmodel.Blanket, extmodel.Escape} {
+		rep := runModel(t, m, 1)
+		if ds := diagStrings(rep, Deref); len(ds) != 0 {
+			t.Errorf("%v: deref diagnostics = %v, want none", m, ds)
+		}
+		if rep.Audit == nil || !rep.Audit.Modeled {
+			t.Fatalf("%v: audit = %+v, want modeled", m, rep.Audit)
+		}
+		if rep.Audit.DerefDowngraded == 0 {
+			t.Errorf("%v: DerefDowngraded = 0, want downgraded deref sites", m)
+		}
+		found := false
+		for _, d := range diagStrings(rep, Externs) {
+			if strings.Contains(d, "only external-world targets") &&
+				strings.Contains(d, "'ext_table'") {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%v: externs diagnostics miss the ext_table downgrade: %v",
+				m, diagStrings(rep, Externs))
+		}
+	}
+}
+
+// TestEscapeToExternalWorld: a local whose address is passed to an
+// undefined function is reported as escaping to the external world.
+func TestEscapeToExternalWorld(t *testing.T) {
+	rep := runModel(t, extmodel.Blanket, 1)
+	found := false
+	for _, d := range diagStrings(rep, Escape) {
+		if strings.Contains(d, "'slot'") && strings.Contains(d, "external world") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("escape diagnostics miss slot->external: %v", diagStrings(rep, Escape))
+	}
+
+	// Without a model there is no external sink, so no such report.
+	unsound := runModel(t, extmodel.Unsound, 1)
+	for _, d := range diagStrings(unsound, Escape) {
+		if strings.Contains(d, "external world") {
+			t.Errorf("unsound run reports external-world escape: %s", d)
+		}
+	}
+}
+
+// TestCallsDowngradedAndModRefIncomplete: calling through an undefined
+// function pointer is flagged open-ended, and MOD/REF summaries touching
+// external memory are marked incomplete.
+func TestCallsDowngradedAndModRefIncomplete(t *testing.T) {
+	rep := runModel(t, extmodel.Blanket, 1)
+	if rep.Audit.CallsDowngraded != 1 {
+		t.Errorf("CallsDowngraded = %d, want 1 (the ext_cb call)", rep.Audit.CallsDowngraded)
+	}
+	if rep.Audit.ModRefIncomplete == 0 {
+		t.Errorf("ModRefIncomplete = 0, want incomplete scopes")
+	}
+	byFunc := map[string]Summary{}
+	for _, s := range rep.ModRef {
+		byFunc[s.Func] = s
+	}
+	if s := byFunc["peek"]; !s.Incomplete {
+		t.Errorf("peek summary not marked incomplete: %+v", s)
+	}
+
+	unsound := runModel(t, extmodel.Unsound, 1)
+	for _, s := range unsound.ModRef {
+		if s.Incomplete {
+			t.Errorf("unsound summary %q marked incomplete", s.Func)
+		}
+	}
+}
+
+// TestExternsUnsoundDefaultUnchanged: without opting into the externs
+// check, an unsound run must not change at all — same checks, same
+// output as before this subsystem existed.
+func TestExternsUnsoundDefaultUnchanged(t *testing.T) {
+	prog := compile(t, incompleteSrc)
+	res := solve(t, prog, 0)
+	rep, err := Run(prog, res, Options{})
+	if err != nil {
+		t.Fatalf("checks: %v", err)
+	}
+	if rep.Audit != nil {
+		t.Errorf("default run produced an audit: %+v", rep.Audit)
+	}
+	for _, d := range rep.Diags {
+		if d.Check == Externs {
+			t.Errorf("default run produced externs diagnostic: %s", d)
+		}
+	}
+}
+
+// TestExternsDeterministicAcrossJobs: the audit path must be byte-stable
+// at any worker count.
+func TestExternsDeterministicAcrossJobs(t *testing.T) {
+	for _, m := range []extmodel.Model{extmodel.Unsound, extmodel.Blanket, extmodel.Escape} {
+		var ref bytes.Buffer
+		runModel(t, m, 1).Format(&ref)
+		for _, jobs := range []int{2, 8} {
+			var got bytes.Buffer
+			runModel(t, m, jobs).Format(&got)
+			if got.String() != ref.String() {
+				t.Errorf("%v: output differs between jobs=1 and jobs=%d", m, jobs)
+			}
+		}
+	}
+}
+
+func TestParseChecksExterns(t *testing.T) {
+	cs, err := ParseChecks([]string{"deref", "externs"})
+	if err != nil || len(cs) != 2 || cs[1] != Externs {
+		t.Fatalf("ParseChecks = %v, %v", cs, err)
+	}
+	if _, err := ParseChecks([]string{"bogus"}); err == nil {
+		t.Fatalf("ParseChecks accepted bogus")
+	}
+}
+
+var _ = prim.NoSym

@@ -20,6 +20,11 @@ type Summary struct {
 	// DirectMod and DirectRef restrict to the function's own body.
 	DirectMod []string `json:"direct_mod"`
 	DirectRef []string `json:"direct_ref"`
+	// Incomplete marks summaries that touch the external world: the
+	// function (or its callees) reads or writes memory undefined code can
+	// also reach, so the lists are lower bounds. Only set when the
+	// analysis ran under an extern model.
+	Incomplete bool `json:"incomplete,omitempty"`
 }
 
 // symSet is a points-to-object accumulator.
@@ -131,6 +136,11 @@ func modrefSummaries(ix *index, g *Graph, jobs int) ([]Summary, error) {
 			Ref:       ref[i].names(ix),
 			DirectMod: dir[i].mod.names(ix),
 			DirectRef: dir[i].ref.names(ix),
+		}
+		if ix.ext != prim.NoSym {
+			_, inMod := mod[i][ix.ext]
+			_, inRef := ref[i][ix.ext]
+			out[i].Incomplete = inMod || inRef
 		}
 	}
 	return out, nil

@@ -1,0 +1,151 @@
+package checks
+
+import "encoding/json"
+
+// SARIF 2.1.0 output, so findings load into standard code-review tooling
+// (GitHub code scanning, VS Code SARIF viewers, ...). The renderer maps
+// each Diagnostic to one result and attaches the soundness audit, when
+// present, as a run property. Output is fully determined by the Report:
+// fixed rule table, results in Diags order (already sorted), and
+// struct-driven JSON field order.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool       sarifTool      `json:"tool"`
+	Results    []sarifResult  `json:"results"`
+	Properties *sarifRunProps `json:"properties,omitempty"`
+}
+
+type sarifRunProps struct {
+	ExternAudit *Audit `json:"externAudit,omitempty"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+	DefaultConfig    sarifConfig  `json:"defaultConfiguration"`
+}
+
+type sarifConfig struct {
+	Level string `json:"level"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations,omitempty"`
+}
+
+type sarifLocation struct {
+	Physical *sarifPhysical `json:"physicalLocation,omitempty"`
+	Logical  []sarifLogical `json:"logicalLocations,omitempty"`
+}
+
+type sarifPhysical struct {
+	Artifact sarifArtifact `json:"artifactLocation"`
+	Region   *sarifRegion  `json:"region,omitempty"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine int `json:"startLine"`
+}
+
+type sarifLogical struct {
+	FullyQualifiedName string `json:"fullyQualifiedName"`
+	Kind               string `json:"kind"`
+}
+
+// sarifRules is the fixed rule table, in canonical check order. The
+// externs audit reports at "note" level: it describes the soundness of the
+// analysis itself rather than a defect in the program.
+var sarifRules = []struct {
+	check Check
+	desc  string
+	level string
+}{
+	{CallGraph, "Indirect call site resolves to no function target.", "warning"},
+	{ModRef, "MOD/REF summary finding.", "warning"},
+	{Escape, "Address of a stack local may outlive its frame.", "warning"},
+	{Deref, "Dereference of a pointer with an empty points-to set.", "warning"},
+	{Externs, "Incomplete-program soundness audit: undefined externals and downgraded verdicts.", "note"},
+}
+
+// SARIF renders the report as a SARIF 2.1.0 log.
+func (r *Report) SARIF() ([]byte, error) {
+	driver := sarifDriver{
+		Name:           "clalint",
+		InformationURI: "https://github.com/cla/cla",
+	}
+	ruleIndex := map[Check]int{}
+	ruleLevel := map[Check]string{}
+	for i, rr := range sarifRules {
+		ruleIndex[rr.check] = i
+		ruleLevel[rr.check] = rr.level
+		driver.Rules = append(driver.Rules, sarifRule{
+			ID:               string(rr.check),
+			ShortDescription: sarifMessage{Text: rr.desc},
+			DefaultConfig:    sarifConfig{Level: rr.level},
+		})
+	}
+
+	results := make([]sarifResult, 0, len(r.Diags))
+	for _, d := range r.Diags {
+		res := sarifResult{
+			RuleID:    string(d.Check),
+			RuleIndex: ruleIndex[d.Check],
+			Level:     ruleLevel[d.Check],
+			Message:   sarifMessage{Text: d.Message},
+		}
+		loc := sarifLocation{}
+		if d.Loc.File != "" {
+			phys := &sarifPhysical{Artifact: sarifArtifact{URI: d.Loc.File}}
+			if d.Loc.Line > 0 {
+				phys.Region = &sarifRegion{StartLine: int(d.Loc.Line)}
+			}
+			loc.Physical = phys
+		}
+		if d.Func != "" {
+			loc.Logical = []sarifLogical{{FullyQualifiedName: d.Func, Kind: "function"}}
+		}
+		if loc.Physical != nil || loc.Logical != nil {
+			res.Locations = []sarifLocation{loc}
+		}
+		results = append(results, res)
+	}
+
+	run := sarifRun{Tool: sarifTool{Driver: driver}, Results: results}
+	if r.Audit != nil {
+		run.Properties = &sarifRunProps{ExternAudit: r.Audit}
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []sarifRun{run},
+	}
+	return json.MarshalIndent(log, "", "  ")
+}

@@ -1,0 +1,107 @@
+package checks
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cla/internal/extmodel"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite SARIF golden files")
+
+// TestSARIFGolden pins the full SARIF 2.1.0 rendering of a blanket-model
+// run against a golden file, and requires the bytes to be identical at
+// jobs=1 and jobs=8. Any change to rule metadata, result ordering or the
+// audit encoding shows up as a golden diff.
+func TestSARIFGolden(t *testing.T) {
+	ref, err := runModel(t, extmodel.Blanket, 1).SARIF()
+	if err != nil {
+		t.Fatalf("SARIF: %v", err)
+	}
+	par, err := runModel(t, extmodel.Blanket, 8).SARIF()
+	if err != nil {
+		t.Fatalf("SARIF: %v", err)
+	}
+	if string(ref) != string(par) {
+		t.Fatalf("SARIF output differs between jobs=1 and jobs=8")
+	}
+
+	golden := filepath.Join("testdata", "sarif_blanket.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, append(ref, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if string(want) != string(ref)+"\n" {
+		t.Errorf("SARIF output differs from %s; run with -update and inspect the diff", golden)
+	}
+}
+
+// TestSARIFWellFormed checks the structural invariants consumers rely on:
+// schema/version fields, one run, the fixed rule table, in-range rule
+// indexes, and the extern audit attached as a run property.
+func TestSARIFWellFormed(t *testing.T) {
+	raw, err := runModel(t, extmodel.Escape, 1).SARIF()
+	if err != nil {
+		t.Fatalf("SARIF: %v", err)
+	}
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				RuleIndex int    `json:"ruleIndex"`
+				Level     string `json:"level"`
+			} `json:"results"`
+			Properties struct {
+				ExternAudit *Audit `json:"externAudit"`
+			} `json:"properties"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(raw, &log); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if log.Version != "2.1.0" || log.Schema == "" || len(log.Runs) != 1 {
+		t.Fatalf("log header = %q %q, %d runs", log.Schema, log.Version, len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "clalint" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+	if len(run.Tool.Driver.Rules) != len(sarifRules) {
+		t.Errorf("rule table has %d entries, want %d", len(run.Tool.Driver.Rules), len(sarifRules))
+	}
+	if len(run.Results) == 0 {
+		t.Fatalf("no results")
+	}
+	for _, r := range run.Results {
+		if r.RuleIndex < 0 || r.RuleIndex >= len(sarifRules) {
+			t.Errorf("result %q has out-of-range ruleIndex %d", r.RuleID, r.RuleIndex)
+		}
+		if got := string(sarifRules[r.RuleIndex].check); got != r.RuleID {
+			t.Errorf("result ruleId %q does not match index %d (%s)", r.RuleID, r.RuleIndex, got)
+		}
+	}
+	if run.Properties.ExternAudit == nil || !run.Properties.ExternAudit.Modeled {
+		t.Errorf("extern audit missing from run properties: %+v", run.Properties.ExternAudit)
+	}
+}

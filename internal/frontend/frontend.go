@@ -297,9 +297,23 @@ func (b *builder) topDeclaration(d *cc.Declaration) {
 			continue
 		}
 		sym := b.symFor(o)
+		b.markDefined(sym, o, d, item)
 		if item.Init != nil {
 			b.lowerInit(sym, o.Type, item.Init)
 		}
+	}
+}
+
+// markDefined records whether this declaration item is a defining
+// occurrence: any object declaration reserves storage unless it is a plain
+// `extern` reference without an initializer, while function declarations
+// are mere prototypes (only funcDef defines a function).
+func (b *builder) markDefined(sym prim.SymID, o *ctypes.Object, d *cc.Declaration, item *cc.InitDeclarator) {
+	if o.Kind == ctypes.ObjFunc {
+		return
+	}
+	if d.Specs.Storage != cc.SCExtern || item.Init != nil {
+		b.prog.Sym(sym).Defined = true
 	}
 }
 
@@ -309,6 +323,7 @@ func (b *builder) funcDef(fd *cc.FuncDef) {
 		return
 	}
 	fn := b.symFor(o)
+	b.prog.Sym(fn).Defined = true
 	prevFunc, prevName := b.curFunc, b.curFuncName
 	b.curFunc, b.curFuncName = o, o.Name
 	defer func() { b.curFunc, b.curFuncName = prevFunc, prevName }()
@@ -412,6 +427,7 @@ func (b *builder) blockDeclaration(d *cc.Declaration) {
 			continue
 		}
 		sym := b.symFor(o)
+		b.markDefined(sym, o, d, item)
 		if item.Init != nil {
 			b.lowerInit(sym, o.Type, item.Init)
 		}

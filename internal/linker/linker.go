@@ -41,6 +41,7 @@ func Link(units []*prim.Program) (*prim.Program, error) {
 						s.Name, s.Kind, ui, canon.Kind)
 				}
 				canon.FuncPtr = canon.FuncPtr || s.FuncPtr
+				canon.Defined = canon.Defined || s.Defined
 				if canon.Type == "" {
 					canon.Type = s.Type
 				}

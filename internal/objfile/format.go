@@ -50,8 +50,9 @@ import (
 const Magic = "CLAO"
 
 // Version is the current format version. Version 4 added the call-site
-// section and the enclosing-function reference on static and block records.
-const Version = 4
+// section and the enclosing-function reference on static and block records;
+// version 5 added the defined flag on symbol records.
+const Version = 5
 
 // section ids.
 const (
@@ -78,6 +79,7 @@ const (
 const (
 	flagFuncPtr  = 1 << 0
 	flagInternal = 1 << 1
+	flagDefined  = 1 << 2
 )
 
 // BlockEntry is one demand-loaded primitive assignment from an object's

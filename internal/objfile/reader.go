@@ -196,6 +196,7 @@ func (r *Reader) loadSymbols() error {
 			Kind:     kind,
 			FuncPtr:  flags&flagFuncPtr != 0,
 			Internal: flags&flagInternal != 0,
+			Defined:  flags&flagDefined != 0,
 		}
 	}
 	return nil

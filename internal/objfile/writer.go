@@ -72,6 +72,9 @@ func Write(w io.Writer, prog *prim.Program) error {
 		if s.Internal {
 			flags |= flagInternal
 		}
+		if s.Defined {
+			flags |= flagDefined
+		}
 		syms.u8(flags)
 		syms.u8(0)
 		syms.u8(0)

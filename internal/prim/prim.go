@@ -212,6 +212,7 @@ const (
 	SymParam                 // standardized parameter "f$N"
 	SymRet                   // standardized return "f$ret"
 	SymString                // a string literal object (when modeled)
+	SymExtern                // the abstract external-world object (extmodel)
 	numSymKinds
 )
 
@@ -222,6 +223,7 @@ var symKindNames = [...]string{
 	SymGlobal: "global", SymStatic: "static", SymLocal: "local",
 	SymField: "field", SymTemp: "temp", SymHeap: "heap",
 	SymFunc: "func", SymParam: "param", SymRet: "ret", SymString: "string",
+	SymExtern: "extern",
 }
 
 func (k SymKind) String() string {
@@ -256,6 +258,12 @@ type Symbol struct {
 	// Internal forces internal linkage regardless of kind (e.g. static
 	// functions and their standardized parameter/return symbols).
 	Internal bool
+	// Defined records whether this translation unit (or, after linking, any
+	// linked unit) contains a defining occurrence of the symbol: a function
+	// body, or an object declaration that reserves storage. Meaningful for
+	// SymGlobal and SymFunc only; a linked symbol with Defined false is a
+	// referenced-but-undefined external (see internal/extmodel).
+	Defined bool
 }
 
 // LinksByName reports whether the linker merges this symbol with

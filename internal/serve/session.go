@@ -10,6 +10,7 @@ import (
 	"cla/internal/claerr"
 	"cla/internal/core"
 	"cla/internal/driver"
+	"cla/internal/extmodel"
 	"cla/internal/frontend"
 	"cla/internal/objfile"
 	"cla/internal/obs"
@@ -21,6 +22,10 @@ import (
 type Config struct {
 	// Solver selects the points-to algorithm (default PreTransitive).
 	Solver driver.Solver
+	// ExtModel closes the snapshot over undefined externals before solving
+	// (default Unsound leaves the database untouched). Modeled snapshots
+	// answer the "externs" lint check with a populated audit.
+	ExtModel extmodel.Model
 	// Jobs bounds compile fan-out, the solve and later batch queries.
 	Jobs int
 	// Includes are extra directories searched for #include files when the
@@ -52,6 +57,7 @@ func Open(ctx context.Context, name, path string, cfg Config) (*Session, error) 
 	if err != nil {
 		return nil, err
 	}
+	extmodel.Apply(prog, cfg.ExtModel)
 	src := pts.NewMemSource(prog)
 	ccfg := core.DefaultConfig()
 	ccfg.Jobs = cfg.Jobs

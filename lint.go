@@ -3,6 +3,8 @@ package cla
 import (
 	"fmt"
 	"io"
+	"strconv"
+	"strings"
 
 	"cla/internal/checks"
 	"cla/internal/claerr"
@@ -12,7 +14,9 @@ import (
 // LintOptions configures an Analysis.Lint run.
 type LintOptions struct {
 	// Checks selects which checks run by name ("callgraph", "modref",
-	// "escape", "deref"); nil means all of them.
+	// "escape", "deref", "externs"); nil means all the defaults — plus the
+	// externs soundness audit when the analysis ran under a non-unsound
+	// ExtModel.
 	Checks []string
 	// Jobs bounds the workers used inside each check (0 = all cores,
 	// 1 = sequential). Output is identical at every setting.
@@ -46,6 +50,27 @@ type ModRefSummary struct {
 	Func                 string
 	Mod, Ref             []string
 	DirectMod, DirectRef []string
+	// Incomplete marks summaries that touch external-world memory: the
+	// lists are lower bounds (set only under a non-unsound ExtModel).
+	Incomplete bool
+}
+
+// ExternAudit is the incomplete-program soundness report produced by the
+// "externs" check: the undefined-external inventory plus counts of
+// verdicts the other checks downgraded because of incompleteness.
+type ExternAudit struct {
+	// Model is the extern model the analysis ran under.
+	Model string
+	// Modeled reports whether undefined externals were modeled at all.
+	Modeled bool
+	// UndefFuncs and UndefGlobals inventory the undefined externals.
+	UndefFuncs   []UndefExtern
+	UndefGlobals []UndefExtern
+	// DerefDowngraded, CallsDowngraded and ModRefIncomplete count
+	// verdicts that rest on the external model.
+	DerefDowngraded  int
+	CallsDowngraded  int
+	ModRefIncomplete int
 }
 
 // LintReport is the outcome of an Analysis.Lint run.
@@ -99,9 +124,54 @@ func (r *LintReport) ModRef() []ModRefSummary {
 		out = append(out, ModRefSummary{
 			Func: s.Func, Mod: s.Mod, Ref: s.Ref,
 			DirectMod: s.DirectMod, DirectRef: s.DirectRef,
+			Incomplete: s.Incomplete,
 		})
 	}
 	return out
+}
+
+// SARIF renders the report as a SARIF 2.1.0 log, loadable by standard
+// code-review tooling. The extern audit, when present, is attached as the
+// run's "externAudit" property.
+func (r *LintReport) SARIF() ([]byte, error) { return r.rep.SARIF() }
+
+// Audit returns the incomplete-program soundness audit, or nil if the
+// externs check did not run.
+func (r *LintReport) Audit() *ExternAudit {
+	a := r.rep.Audit
+	if a == nil {
+		return nil
+	}
+	conv := func(us []checks.UndefSym, isFunc bool) []UndefExtern {
+		var out []UndefExtern
+		for _, u := range us {
+			file, line := splitLoc(u.Loc)
+			out = append(out, UndefExtern{Name: u.Name, Func: isFunc, File: file, Line: line})
+		}
+		return out
+	}
+	return &ExternAudit{
+		Model:            a.Model,
+		Modeled:          a.Modeled,
+		UndefFuncs:       conv(a.UndefFuncs, true),
+		UndefGlobals:     conv(a.UndefGlobals, false),
+		DerefDowngraded:  a.DerefDowngraded,
+		CallsDowngraded:  a.CallsDowngraded,
+		ModRefIncomplete: a.ModRefIncomplete,
+	}
+}
+
+// splitLoc splits a "file:line" location string.
+func splitLoc(loc string) (string, int) {
+	i := strings.LastIndexByte(loc, ':')
+	if i < 0 {
+		return loc, 0
+	}
+	n, err := strconv.Atoi(loc[i+1:])
+	if err != nil {
+		return loc, 0
+	}
+	return loc[:i], n
 }
 
 // Lint runs the static-analysis clients over the completed analysis: call
@@ -109,13 +179,18 @@ func (r *LintReport) ModRef() []ModRefSummary {
 // empty-points-to dereference checks. Output is deterministic at every
 // Jobs setting.
 func (a *Analysis) Lint(opts *LintOptions) (*LintReport, error) {
-	copts := checks.Options{Obs: a.o}
-	if opts != nil {
+	copts := checks.Options{ExtModel: a.ext.String(), Obs: a.o}
+	if opts != nil && opts.Checks != nil {
 		cs, err := checks.ParseChecks(opts.Checks)
 		if err != nil {
 			return nil, claerr.New(claerr.PhaseUsage, err)
 		}
 		copts.Checks = cs
+	} else if a.ext != ExtModelUnsound {
+		// The analysis was modeled, so the soundness audit rides along.
+		copts.Checks = checks.AllChecksAudited()
+	}
+	if opts != nil {
 		copts.Jobs = opts.Jobs
 	}
 	prog, err := a.fullProgram()
