@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build check test vet fmt race bench bench-smoke fuzz-smoke clean
+.PHONY: all build check test vet fmt race bench bench-smoke bench-check fuzz-smoke clean
 
 all: build
 
@@ -23,10 +23,10 @@ vet:
 	$(GO) vet ./...
 
 # Race extras: the parallel pipeline, the wave fixpoints, the checks
-# engine, the shared set layer and the query-serving layer must stay
-# race-clean and deterministic at any -j.
+# engine, the shared set layer, the query-serving layer and the metrics
+# layer must stay race-clean and deterministic at any -j.
 race:
-	$(GO) test -race ./internal/core ./internal/driver ./internal/linker ./internal/parallel ./internal/pts/worklist ./internal/checks ./internal/pts/set ./internal/serve ./internal/extmodel
+	$(GO) test -race ./internal/core ./internal/driver ./internal/linker ./internal/parallel ./internal/pts/worklist ./internal/checks ./internal/pts/set ./internal/serve ./internal/extmodel ./internal/obs
 
 check: build fmt vet test race
 
@@ -37,6 +37,15 @@ bench:
 # (build failures, panics) without paying for stable timings.
 bench-smoke:
 	$(GO) test -run=^$$ -bench=. -benchtime=1x ./internal/pts/set ./internal/core
+
+# Perf regression gate: re-run the corpus-conformance table and compare
+# its timings against the committed BENCH_corpus.json baseline. The
+# tolerance is generous because CI hosts differ from the baseline host;
+# it still catches order-of-magnitude regressions. Pass
+# CHECK_FLAGS="-fresh-dir out" to keep the fresh rows as artifacts.
+TOLERANCE ?= 9
+bench-check:
+	$(GO) run ./cmd/clabench -table 13 -check -tolerance $(TOLERANCE) $(CHECK_FLAGS)
 
 # Short fuzz runs over the binary object-file reader, the trace encoder,
 # the adaptive set layer and the extern-model path: corrupt inputs must

@@ -7,6 +7,8 @@ package cla
 import (
 	"bufio"
 	"context"
+	"encoding/json"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -118,5 +120,193 @@ func TestClaserveEndToEnd(t *testing.T) {
 		}
 	case <-time.After(30 * time.Second):
 		t.Fatal("claserve did not exit after SIGTERM")
+	}
+}
+
+// TestClaserveTelemetryEndToEnd drives the serving-telemetry surface of
+// the real binary: request-ID echo, /metricsz exposition, the pprof
+// debug listener, and the JSONL access log.
+func TestClaserveTelemetryEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	tools := buildTools(t, "claserve")
+	work := t.TempDir()
+	os.WriteFile(filepath.Join(work, "a.c"),
+		[]byte("int shared;\nint *sp, *tp;\nvoid init(void) { sp = &shared; tp = sp; }\n"), 0o644)
+
+	sock := filepath.Join(t.TempDir(), "cla.sock")
+	accessLog := filepath.Join(t.TempDir(), "access.jsonl")
+	cmd := exec.Command(tools["claserve"], "-unix", sock, "-ready", "-j", "2",
+		"-access-log", accessLog, "-debug-addr", "127.0.0.1:0", work)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The binary prints "DEBUG <addr>" (pprof listener) and then
+	// "READY <addr>" once serving.
+	lines := bufio.NewScanner(stdout)
+	type startup struct {
+		debugAddr string
+		ok        bool
+	}
+	started := make(chan startup, 1)
+	go func() {
+		var s startup
+		for lines.Scan() {
+			text := lines.Text()
+			if strings.HasPrefix(text, "DEBUG ") {
+				s.debugAddr = strings.TrimPrefix(text, "DEBUG ")
+			}
+			if strings.HasPrefix(text, "READY") {
+				s.ok = true
+				started <- s
+				return
+			}
+		}
+		started <- s
+	}()
+	var up startup
+	select {
+	case up = <-started:
+		if !up.ok {
+			t.Fatal("claserve exited before READY")
+		}
+		if up.debugAddr == "" {
+			t.Fatal("no DEBUG line before READY")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("timed out waiting for READY")
+	}
+
+	client := &http.Client{Transport: &http.Transport{
+		DialContext: func(ctx context.Context, _, _ string) (net.Conn, error) {
+			return net.Dial("unix", sock)
+		},
+	}}
+	get := func(path string, hdr map[string]string) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest("GET", "http://claserve"+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k, v := range hdr {
+			req.Header.Set(k, v)
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return resp
+	}
+	readBody := func(resp *http.Response) string {
+		t.Helper()
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+
+	// Request-ID: a client-supplied ID is echoed verbatim; absent one, the
+	// server generates a unique ID.
+	resp := get("/healthz", map[string]string{"X-Request-Id": "e2e-test-42"})
+	readBody(resp)
+	if id := resp.Header.Get("X-Request-Id"); id != "e2e-test-42" {
+		t.Errorf("request-ID echo = %q, want e2e-test-42", id)
+	}
+	resp = get("/healthz", nil)
+	readBody(resp)
+	if id := resp.Header.Get("X-Request-Id"); id == "" {
+		t.Error("no generated X-Request-Id")
+	}
+
+	// Traffic to meter, then scrape /metricsz.
+	readBody(get("/v1/pointsto?name=sp", nil))
+	readBody(get("/v1/alias?x=sp&y=tp", nil))
+	readBody(get("/v1/pointsto?name=nosuch", nil)) // 404 -> serve_errors_4xx
+	resp = get("/metricsz", nil)
+	if !strings.HasPrefix(resp.Header.Get("Content-Type"), "text/plain") {
+		t.Errorf("metricsz content-type = %q", resp.Header.Get("Content-Type"))
+	}
+	prom := readBody(resp)
+	for _, want := range []string{
+		"# TYPE serve_query_pointsto histogram",
+		"serve_query_pointsto_count 2",
+		"serve_query_alias_count 1",
+		"# TYPE serve_http histogram",
+		"serve_errors_4xx 1",
+		"runtime_goroutines",
+	} {
+		if !strings.Contains(prom, want) {
+			t.Errorf("metricsz missing %q:\n%s", want, prom)
+		}
+	}
+
+	// The pprof listener answers on its own port, off the serving socket.
+	presp, err := http.Get("http://" + up.debugAddr + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatalf("pprof: %v", err)
+	}
+	pbody, _ := io.ReadAll(presp.Body)
+	presp.Body.Close()
+	if presp.StatusCode != 200 || !strings.Contains(string(pbody), "claserve") {
+		t.Errorf("pprof cmdline = %d %q", presp.StatusCode, pbody)
+	}
+
+	// Drain, then audit the access log: every line is valid JSON with the
+	// request fields, and the 404 we sent is recorded.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("claserve exited uncleanly after SIGTERM: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("claserve did not exit after SIGTERM")
+	}
+	raw, err := os.ReadFile(accessLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var saw404 bool
+	var n int
+	for _, line := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
+		if line == "" {
+			continue
+		}
+		n++
+		var rec struct {
+			ID     string `json:"id"`
+			Path   string `json:"path"`
+			Status int    `json:"status"`
+			DurNS  int64  `json:"dur_ns"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("access log line %q: %v", line, err)
+		}
+		if rec.ID == "" || rec.Path == "" || rec.Status == 0 {
+			t.Errorf("incomplete access record: %s", line)
+		}
+		if rec.Status == 404 {
+			saw404 = true
+		}
+	}
+	if n < 6 {
+		t.Errorf("access log has %d lines, want >= 6", n)
+	}
+	if !saw404 {
+		t.Error("404 request missing from access log")
 	}
 }

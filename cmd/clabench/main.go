@@ -25,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 
 	"cla/internal/bench"
@@ -50,6 +51,9 @@ func main() {
 		corpus    = flag.String("corpus", "examples/corpus", "C source directory for the conformance table")
 		corpusOut = flag.String("corpus-json", "BENCH_corpus.json", "file recording the corpus-conformance rows (empty to skip)")
 		queries   = flag.Int("queries", 2000, "queries per workload for the query-serving table")
+		check     = flag.Bool("check", false, "regression gate: compare fresh rows against the committed BENCH_*.json baselines instead of rewriting them; exit 1 on regression")
+		tolerance = flag.Float64("tolerance", 0.5, "-check slack as a fraction: 0.5 lets durations grow to 1.5x (and qps drop to 1/1.5x) before failing")
+		freshDir  = flag.String("fresh-dir", "", "in -check mode, also write the fresh rows as artifacts into this directory (for CI upload)")
 	)
 	obsFlags := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
@@ -67,6 +71,48 @@ func main() {
 	span := func(name string) *obs.Span { return o.Start(name) }
 
 	need := func(t int) bool { return *all || *table == t }
+
+	// emit either writes a table's JSON artifact (the default) or, under
+	// -check, compares the fresh rows against the committed artifact at
+	// path and records the verdict. write must render rows to a given
+	// path with a given meta so -fresh-dir can redirect the artifact.
+	var checked, checkFailures int
+	emit := func(path, table string, rows any, write func(path string, meta bench.Meta) error) {
+		if path == "" {
+			return
+		}
+		meta := bench.NewMeta(table, *jobs, *scale, *seed)
+		if !*check {
+			if err := write(path, meta); err != nil {
+				fmt.Fprintf(os.Stderr, "clabench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "clabench: wrote %s\n", path)
+			return
+		}
+		rep, err := bench.CheckBaseline(path, meta, rows, *tolerance)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "clabench: %v\n", err)
+			os.Exit(1)
+		}
+		rep.Format(os.Stdout)
+		checked++
+		if !rep.OK() {
+			checkFailures++
+		}
+		if *freshDir != "" {
+			if err := os.MkdirAll(*freshDir, 0o755); err != nil {
+				fmt.Fprintf(os.Stderr, "clabench: %v\n", err)
+				os.Exit(1)
+			}
+			out := filepath.Join(*freshDir, filepath.Base(path))
+			if err := write(out, meta); err != nil {
+				fmt.Fprintf(os.Stderr, "clabench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "clabench: wrote %s\n", out)
+		}
+	}
 
 	var workloads []*bench.Workload
 	if need(2) || need(3) || need(4) || need(6) || need(7) || need(9) || need(10) || need(11) || need(12) {
@@ -189,14 +235,9 @@ func main() {
 			os.Exit(1)
 		}
 		bench.FormatParallel(os.Stdout, rows)
-		if *jsonOut != "" {
-			meta := bench.NewMeta("parallel-pipeline", *jobs, *scale, *seed)
-			if err := bench.WriteParallelJSON(*jsonOut, rows, meta); err != nil {
-				fmt.Fprintf(os.Stderr, "clabench: %v\n", err)
-				os.Exit(1)
-			}
-			fmt.Fprintf(os.Stderr, "clabench: wrote %s\n", *jsonOut)
-		}
+		emit(*jsonOut, "parallel-pipeline", rows, func(p string, m bench.Meta) error {
+			return bench.WriteParallelJSON(p, rows, m)
+		})
 		tsp.End()
 	}
 	if need(9) {
@@ -208,14 +249,9 @@ func main() {
 			os.Exit(1)
 		}
 		bench.FormatChecks(os.Stdout, rows)
-		if *checksOut != "" {
-			meta := bench.NewMeta("analysis-clients", *jobs, *scale, *seed)
-			if err := bench.WriteChecksJSON(*checksOut, rows, meta); err != nil {
-				fmt.Fprintf(os.Stderr, "clabench: %v\n", err)
-				os.Exit(1)
-			}
-			fmt.Fprintf(os.Stderr, "clabench: wrote %s\n", *checksOut)
-		}
+		emit(*checksOut, "analysis-clients", rows, func(p string, m bench.Meta) error {
+			return bench.WriteChecksJSON(p, rows, m)
+		})
 		tsp.End()
 	}
 	if need(10) {
@@ -227,14 +263,9 @@ func main() {
 			os.Exit(1)
 		}
 		bench.FormatSets(os.Stdout, rows)
-		if *setsOut != "" {
-			meta := bench.NewMeta("set-machinery", *jobs, *scale, *seed)
-			if err := bench.WriteSetsJSON(*setsOut, rows, meta); err != nil {
-				fmt.Fprintf(os.Stderr, "clabench: %v\n", err)
-				os.Exit(1)
-			}
-			fmt.Fprintf(os.Stderr, "clabench: wrote %s\n", *setsOut)
-		}
+		emit(*setsOut, "set-machinery", rows, func(p string, m bench.Meta) error {
+			return bench.WriteSetsJSON(p, rows, m)
+		})
 		tsp.End()
 	}
 	if need(11) {
@@ -246,14 +277,9 @@ func main() {
 			os.Exit(1)
 		}
 		bench.FormatServe(os.Stdout, rows)
-		if *serveOut != "" {
-			meta := bench.NewMeta("query-serving", *jobs, *scale, *seed)
-			if err := bench.WriteServeJSON(*serveOut, rows, meta); err != nil {
-				fmt.Fprintf(os.Stderr, "clabench: %v\n", err)
-				os.Exit(1)
-			}
-			fmt.Fprintf(os.Stderr, "clabench: wrote %s\n", *serveOut)
-		}
+		emit(*serveOut, "query-serving", rows, func(p string, m bench.Meta) error {
+			return bench.WriteServeJSON(p, rows, m)
+		})
 		tsp.End()
 	}
 	if need(12) {
@@ -265,14 +291,9 @@ func main() {
 			os.Exit(1)
 		}
 		bench.FormatSolve(os.Stdout, rows)
-		if *solveOut != "" {
-			meta := bench.NewMeta("parallel-solve", *jobs, *scale, *seed)
-			if err := bench.WriteSolveJSON(*solveOut, rows, meta); err != nil {
-				fmt.Fprintf(os.Stderr, "clabench: %v\n", err)
-				os.Exit(1)
-			}
-			fmt.Fprintf(os.Stderr, "clabench: wrote %s\n", *solveOut)
-		}
+		emit(*solveOut, "parallel-solve", rows, func(p string, m bench.Meta) error {
+			return bench.WriteSolveJSON(p, rows, m)
+		})
 		tsp.End()
 	}
 	if need(13) {
@@ -284,14 +305,9 @@ func main() {
 			os.Exit(1)
 		}
 		bench.FormatCorpus(os.Stdout, rows)
-		if *corpusOut != "" {
-			meta := bench.NewMeta("corpus-conformance", *jobs, *scale, *seed)
-			if err := bench.WriteCorpusJSON(*corpusOut, rows, meta); err != nil {
-				fmt.Fprintf(os.Stderr, "clabench: %v\n", err)
-				os.Exit(1)
-			}
-			fmt.Fprintf(os.Stderr, "clabench: wrote %s\n", *corpusOut)
-		}
+		emit(*corpusOut, "corpus-conformance", rows, func(p string, m bench.Meta) error {
+			return bench.WriteCorpusJSON(p, rows, m)
+		})
 		tsp.End()
 	}
 	if obsFlags.Stats {
@@ -302,5 +318,18 @@ func main() {
 	if err := obsFlags.Finish(); err != nil {
 		fmt.Fprintf(os.Stderr, "clabench: %v\n", err)
 		os.Exit(1)
+	}
+	if *check {
+		switch {
+		case checked == 0:
+			fmt.Fprintln(os.Stderr, "clabench: -check compared nothing (only tables 8-13 carry baselines)")
+			os.Exit(2)
+		case checkFailures > 0:
+			fmt.Fprintf(os.Stderr, "clabench: perf regression gate FAILED (%d of %d table(s))\n",
+				checkFailures, checked)
+			os.Exit(1)
+		default:
+			fmt.Fprintf(os.Stderr, "clabench: perf regression gate passed (%d table(s))\n", checked)
+		}
 	}
 }

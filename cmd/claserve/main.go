@@ -8,11 +8,14 @@
 //	claserve -unix /tmp/cla.sock src/         # compile+serve a directory
 //	claserve -I include/ -j 8 src/            # extra include dirs, 8 workers
 //	claserve -deadline 5s program.cla         # per-request evaluation cap
+//	claserve -access-log access.jsonl src/    # JSONL request log
+//	claserve -debug-addr 127.0.0.1:0 src/     # pprof on its own listener
 //
 // Endpoints:
 //
 //	GET  /healthz                             liveness (503 while draining)
 //	GET  /statsz                              sessions + observer metrics
+//	GET  /metricsz                            Prometheus text exposition
 //	GET  /v1/sessions                         registered session names
 //	POST /v1/query                            batched queries (JSON)
 //	GET  /v1/pointsto?name=p                  single-query conveniences
@@ -31,8 +34,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -61,18 +66,34 @@ func main() {
 		deadline   = flag.Duration("deadline", 0, "per-request evaluation deadline (0 = none)")
 		grace      = flag.Duration("grace", 10*time.Second, "drain timeout on shutdown")
 		ready      = flag.Bool("ready", false, "print one READY line once serving (for scripts)")
+		debugAddr  = flag.String("debug-addr", "", "separate TCP listener exposing /debug/pprof (empty = disabled)")
+		accessLog  = flag.String("access-log", "", "append one JSON line per served request to this file (\"-\" = stderr)")
+		slowQuery  = flag.Duration("slow-query", 0, "latency at or above which a request is always access-logged and flagged slow (0 = disabled)")
+		logSample  = flag.Int("log-sample", 1, "log 1 in N requests to the access log (<= 1 logs all; slow requests bypass sampling)")
 	)
 	obsFlags := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
+	tel := telemetryOpts{
+		debugAddr: *debugAddr, accessLog: *accessLog,
+		slowQuery: *slowQuery, logSample: *logSample,
+	}
 	if err := run(flag.Args(), *listen, *unixSock, *name, *includes, *solverName,
-		*extModel, *jobs, *deadline, *grace, *ready, obsFlags); err != nil {
+		*extModel, *jobs, *deadline, *grace, *ready, tel, obsFlags); err != nil {
 		fmt.Fprintf(os.Stderr, "claserve: %v\n", err)
 		os.Exit(claerr.ExitCode(err))
 	}
 }
 
+// telemetryOpts groups the serving-telemetry flags.
+type telemetryOpts struct {
+	debugAddr string
+	accessLog string
+	slowQuery time.Duration
+	logSample int
+}
+
 func run(args []string, listen, unixSock, name, includes, solverName, extModel string,
-	jobs int, deadline, grace time.Duration, ready bool, obsFlags *obs.Flags) error {
+	jobs int, deadline, grace time.Duration, ready bool, tel telemetryOpts, obsFlags *obs.Flags) error {
 	if len(args) == 0 {
 		return claerr.Newf(claerr.PhaseUsage, "need a .cla database or a source directory")
 	}
@@ -110,10 +131,28 @@ func run(args []string, listen, unixSock, name, includes, solverName, extModel s
 			sess.Name, sess.Eval.NumSyms(), sess.Eval.NumAssigns())
 	}
 
-	srv := serve.NewServer(reg, serve.ServerConfig{Jobs: jobs, Deadline: deadline, Obs: o})
+	alw, closeLog, err := openAccessLog(tel.accessLog)
+	if err != nil {
+		return claerr.New(claerr.PhaseUsage, err)
+	}
+	defer closeLog()
+	srv := serve.NewServer(reg, serve.ServerConfig{
+		Jobs: jobs, Deadline: deadline, Obs: o,
+		AccessLog: alw, SlowQuery: tel.slowQuery, LogSample: tel.logSample,
+	})
 	ln, addr, err := listenOn(listen, unixSock)
 	if err != nil {
 		return claerr.New(claerr.PhaseServe, err)
+	}
+	if tel.debugAddr != "" {
+		daddr, err := serveDebug(tel.debugAddr)
+		if err != nil {
+			return claerr.New(claerr.PhaseServe, err)
+		}
+		fmt.Fprintf(os.Stderr, "claserve: pprof on %s\n", daddr)
+		if ready {
+			fmt.Printf("DEBUG %s\n", daddr)
+		}
 	}
 	fmt.Fprintf(os.Stderr, "claserve: serving on %s\n", addr)
 	if ready {
@@ -144,6 +183,40 @@ func run(args []string, listen, unixSock, name, includes, solverName, extModel s
 		os.Remove(unixSock)
 	}
 	return obsFlags.Finish()
+}
+
+// openAccessLog resolves the -access-log flag: "-" means stderr, empty
+// disables, anything else appends to a file. The returned closer is a
+// no-op except for files.
+func openAccessLog(path string) (io.Writer, func(), error) {
+	switch path {
+	case "":
+		return nil, func() {}, nil
+	case "-":
+		return os.Stderr, func() {}, nil
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, func() { f.Close() }, nil
+}
+
+// serveDebug starts the pprof endpoints on their own listener, keeping
+// profiling off the public serving port. Returns the bound address.
+func serveDebug(addr string) (string, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go http.Serve(ln, mux)
+	return ln.Addr().String(), nil
 }
 
 // listenOn opens the serving socket: a unix socket when requested

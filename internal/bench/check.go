@@ -1,0 +1,253 @@
+// The perf-regression gate: clabench -check re-runs a table and
+// compares its fresh rows against the committed BENCH_*.json baseline
+// instead of overwriting it. Rows are matched by their identity fields
+// (workload name, solver, model, jobs, queries), and the timing metrics
+// of matched rows — *_ns durations (lower is better) and qps (higher is
+// better) — must stay within a configurable tolerance of the baseline,
+// or the run exits non-zero. Wired into CI, this makes the perf
+// trajectory self-enforcing: a PR that silently regresses the solver or
+// the serving path fails its gate.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"text/tabwriter"
+)
+
+// keyFields are the row fields that identify a row across runs, in the
+// order they appear in a key. A field absent from a row is skipped, so
+// one key scheme covers every BENCH_*.json table.
+var keyFields = []string{"name", "solver", "model", "mode", "jobs", "queries"}
+
+// rawArtifact is the schema-agnostic decoded form of a BENCH_*.json
+// file: the shared Meta header plus rows as generic maps.
+type rawArtifact struct {
+	Meta Meta             `json:"meta"`
+	Rows []map[string]any `json:"rows"`
+}
+
+// readArtifact loads and validates a benchmark artifact from disk.
+func readArtifact(path string) (*rawArtifact, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var a rawArtifact
+	if err := json.Unmarshal(b, &a); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if a.Meta.Schema != MetaSchema {
+		return nil, fmt.Errorf("%s: schema %d, want %d (regenerate the baseline)",
+			path, a.Meta.Schema, MetaSchema)
+	}
+	return &a, nil
+}
+
+// freshArtifact converts typed in-memory rows to the generic form by
+// round-tripping through JSON — the same encoding the baselines use, so
+// both sides compare identically.
+func freshArtifact(meta Meta, rows any) (*rawArtifact, error) {
+	b, err := json.Marshal(struct {
+		Meta Meta `json:"meta"`
+		Rows any  `json:"rows"`
+	}{Meta: meta, Rows: rows})
+	if err != nil {
+		return nil, err
+	}
+	var a rawArtifact
+	if err := json.Unmarshal(b, &a); err != nil {
+		return nil, err
+	}
+	return &a, nil
+}
+
+// rowKey renders a row's identity: "name=gimp jobs=4 queries=1000".
+func rowKey(row map[string]any) string {
+	var parts []string
+	for _, f := range keyFields {
+		v, ok := row[f]
+		if !ok {
+			continue
+		}
+		switch x := v.(type) {
+		case string:
+			parts = append(parts, fmt.Sprintf("%s=%s", f, x))
+		case float64: // all JSON numbers
+			parts = append(parts, fmt.Sprintf("%s=%g", f, x))
+		case bool:
+			parts = append(parts, fmt.Sprintf("%s=%t", f, x))
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+// metricDirection classifies a row field as a compared metric:
+// *_ns durations regress upward, qps regresses downward. Everything
+// else (counts, sizes, ratios) is informational and not gated.
+func metricDirection(field string) (higherBetter, isMetric bool) {
+	switch {
+	case strings.HasSuffix(field, "_ns"):
+		return false, true
+	case field == "qps":
+		return true, true
+	}
+	return false, false
+}
+
+// CheckFinding is one compared metric of one matched row.
+type CheckFinding struct {
+	Key          string
+	Metric       string
+	Base, Fresh  float64
+	Ratio        float64 // Fresh / Base
+	HigherBetter bool
+	Regressed    bool
+}
+
+// CheckReport is the outcome of comparing one table against its
+// baseline.
+type CheckReport struct {
+	Path        string
+	Table       string
+	Tolerance   float64
+	Matched     int // rows present in both baseline and fresh run
+	BaseOnly    int // baseline rows the fresh run did not produce
+	FreshOnly   int // fresh rows absent from the baseline
+	Findings    []CheckFinding
+	Regressions int
+	Notes       []string
+}
+
+// OK reports whether the gate passes: at least one row matched and no
+// metric regressed. Zero matches fail loudly — they mean the run
+// parameters (scale, jobs, queries) don't correspond to the baseline,
+// which would otherwise turn the gate into a silent no-op.
+func (r *CheckReport) OK() bool { return r.Matched > 0 && r.Regressions == 0 }
+
+// CheckBaseline compares fresh rows against the baseline artifact at
+// path. tol is the allowed slack as a fraction: with tol = 0.5 a
+// duration may grow to 1.5x the baseline (and qps may drop to 1/1.5x)
+// before it counts as a regression. Metrics missing on either side are
+// skipped; rows are matched by rowKey.
+func CheckBaseline(path string, meta Meta, rows any, tol float64) (*CheckReport, error) {
+	base, err := readArtifact(path)
+	if err != nil {
+		return nil, err
+	}
+	fresh, err := freshArtifact(meta, rows)
+	if err != nil {
+		return nil, err
+	}
+	rep := &CheckReport{Path: path, Table: base.Meta.Table, Tolerance: tol}
+	if base.Meta.Scale != meta.Scale {
+		rep.Notes = append(rep.Notes, fmt.Sprintf(
+			"baseline scale %g != run scale %g: durations are not comparable",
+			base.Meta.Scale, meta.Scale))
+	}
+	if base.Meta.NumCPU != meta.NumCPU {
+		rep.Notes = append(rep.Notes, fmt.Sprintf(
+			"baseline host had %d CPUs, this host %d: expect timing skew",
+			base.Meta.NumCPU, meta.NumCPU))
+	}
+
+	baseByKey := make(map[string]map[string]any, len(base.Rows))
+	for _, row := range base.Rows {
+		baseByKey[rowKey(row)] = row
+	}
+	seen := make(map[string]bool, len(fresh.Rows))
+	for _, row := range fresh.Rows {
+		key := rowKey(row)
+		seen[key] = true
+		baseRow, ok := baseByKey[key]
+		if !ok {
+			rep.FreshOnly++
+			continue
+		}
+		rep.Matched++
+		rep.Findings = append(rep.Findings, compareRow(key, baseRow, row, tol)...)
+	}
+	for key := range baseByKey {
+		if !seen[key] {
+			rep.BaseOnly++
+		}
+	}
+	for _, f := range rep.Findings {
+		if f.Regressed {
+			rep.Regressions++
+		}
+	}
+	return rep, nil
+}
+
+// compareRow gates every metric field present in both rows. Field order
+// is sorted for deterministic reports.
+func compareRow(key string, baseRow, freshRow map[string]any, tol float64) []CheckFinding {
+	fields := make([]string, 0, len(freshRow))
+	for f := range freshRow {
+		fields = append(fields, f)
+	}
+	sort.Strings(fields)
+	var out []CheckFinding
+	for _, f := range fields {
+		higher, isMetric := metricDirection(f)
+		if !isMetric {
+			continue
+		}
+		fv, fok := freshRow[f].(float64)
+		bv, bok := baseRow[f].(float64)
+		if !fok || !bok || bv <= 0 || fv <= 0 {
+			continue
+		}
+		finding := CheckFinding{
+			Key: key, Metric: f, Base: bv, Fresh: fv,
+			Ratio: fv / bv, HigherBetter: higher,
+		}
+		if higher {
+			finding.Regressed = fv < bv/(1+tol)
+		} else {
+			finding.Regressed = fv > bv*(1+tol)
+		}
+		out = append(out, finding)
+	}
+	return out
+}
+
+// Format renders the comparison, regressions flagged. Passing metrics
+// print too — the gate doubles as the per-PR perf trajectory report.
+func (r *CheckReport) Format(w io.Writer) {
+	fmt.Fprintf(w, "-- check %s (%s, tolerance %.0f%%) --\n", r.Path, r.Table, r.Tolerance*100)
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "row\tmetric\tbaseline\tfresh\tratio\tverdict")
+	for _, f := range r.Findings {
+		verdict := "ok"
+		if f.Regressed {
+			verdict = "REGRESSED"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%.0f\t%.0f\t%.2fx\t%s\n",
+			f.Key, f.Metric, f.Base, f.Fresh, f.Ratio, verdict)
+	}
+	tw.Flush()
+	fmt.Fprintf(w, "matched %d row(s)", r.Matched)
+	if r.BaseOnly > 0 {
+		fmt.Fprintf(w, ", %d baseline-only", r.BaseOnly)
+	}
+	if r.FreshOnly > 0 {
+		fmt.Fprintf(w, ", %d fresh-only", r.FreshOnly)
+	}
+	switch {
+	case r.Matched == 0:
+		fmt.Fprintf(w, "; FAIL: nothing to compare (run parameters match no baseline row)\n")
+	case r.Regressions > 0:
+		fmt.Fprintf(w, "; FAIL: %d regression(s)\n", r.Regressions)
+	default:
+		fmt.Fprintf(w, "; pass\n")
+	}
+}

@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// writeBaseline commits a small query-serving artifact to a temp file.
+func writeBaseline(t *testing.T, rows []RowServe) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	meta := NewMeta("query-serving", 4, 0.1, 1)
+	if err := WriteServeJSON(path, rows, meta); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func baselineRows() []RowServe {
+	return []RowServe{
+		{Name: "gimp", Jobs: 4, Queries: 1000, SetupTime: 100 * time.Millisecond,
+			WallTime: 50 * time.Millisecond, QPS: 20000, P50: 30 * time.Microsecond, P99: 2 * time.Millisecond},
+		{Name: "nethack", Jobs: 4, Queries: 1000, SetupTime: 40 * time.Millisecond,
+			WallTime: 30 * time.Millisecond, QPS: 33000, P50: 20 * time.Microsecond, P99: time.Millisecond},
+	}
+}
+
+func TestCheckBaselinePasses(t *testing.T) {
+	path := writeBaseline(t, baselineRows())
+	// A fresh run 20% slower everywhere stays inside a 50% tolerance.
+	fresh := baselineRows()
+	for i := range fresh {
+		fresh[i].WallTime = fresh[i].WallTime * 12 / 10
+		fresh[i].P99 = fresh[i].P99 * 12 / 10
+		fresh[i].QPS = fresh[i].QPS / 1.2
+	}
+	rep, err := CheckBaseline(path, NewMeta("query-serving", 4, 0.1, 1), fresh, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() || rep.Matched != 2 || rep.Regressions != 0 {
+		t.Fatalf("report = %+v, want clean pass on 2 rows", rep)
+	}
+	// Every row contributes wall/qps/p50/p99/setup findings.
+	if len(rep.Findings) != 2*5 {
+		t.Errorf("findings = %d, want 10", len(rep.Findings))
+	}
+}
+
+func TestCheckBaselineDetectsInjectedRegression(t *testing.T) {
+	path := writeBaseline(t, baselineRows())
+	fresh := baselineRows()
+	fresh[0].P99 *= 10 // inject: gimp p99 blows up 10x
+	fresh[1].QPS /= 8  // inject: nethack throughput collapses
+	rep, err := CheckBaseline(path, NewMeta("query-serving", 4, 0.1, 1), fresh, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() || rep.Regressions != 2 {
+		t.Fatalf("regressions = %d (ok=%t), want 2 detected", rep.Regressions, rep.OK())
+	}
+	var hit []string
+	for _, f := range rep.Findings {
+		if f.Regressed {
+			hit = append(hit, f.Key+"/"+f.Metric)
+		}
+	}
+	want := []string{"name=gimp jobs=4 queries=1000/p99_ns", "name=nethack jobs=4 queries=1000/qps"}
+	if strings.Join(hit, ",") != strings.Join(want, ",") {
+		t.Errorf("regressed = %v, want %v", hit, want)
+	}
+	var buf bytes.Buffer
+	rep.Format(&buf)
+	if !strings.Contains(buf.String(), "REGRESSED") || !strings.Contains(buf.String(), "FAIL: 2 regression(s)") {
+		t.Errorf("report format:\n%s", buf.String())
+	}
+}
+
+// TestCheckBaselineImprovementPasses: getting faster is never a
+// regression, in either metric direction.
+func TestCheckBaselineImprovementPasses(t *testing.T) {
+	path := writeBaseline(t, baselineRows())
+	fresh := baselineRows()
+	for i := range fresh {
+		fresh[i].WallTime /= 10
+		fresh[i].P99 /= 10
+		fresh[i].QPS *= 10
+	}
+	rep, err := CheckBaseline(path, NewMeta("query-serving", 4, 0.1, 1), fresh, 0.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("improvement flagged as regression: %+v", rep.Findings)
+	}
+}
+
+// TestCheckBaselineNoMatchFails: mismatched run parameters must fail
+// loudly, not silently compare nothing.
+func TestCheckBaselineNoMatchFails(t *testing.T) {
+	path := writeBaseline(t, baselineRows())
+	fresh := baselineRows()
+	for i := range fresh {
+		fresh[i].Queries = 77 // different -queries: keys don't match
+	}
+	rep, err := CheckBaseline(path, NewMeta("query-serving", 4, 0.1, 1), fresh, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() || rep.Matched != 0 || rep.FreshOnly != 2 || rep.BaseOnly != 2 {
+		t.Fatalf("report = %+v, want 0 matches and failure", rep)
+	}
+	var buf bytes.Buffer
+	rep.Format(&buf)
+	if !strings.Contains(buf.String(), "nothing to compare") {
+		t.Errorf("report format:\n%s", buf.String())
+	}
+}
+
+func TestCheckBaselineScaleNote(t *testing.T) {
+	path := writeBaseline(t, baselineRows())
+	rep, err := CheckBaseline(path, NewMeta("query-serving", 4, 1.0, 1), baselineRows(), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, n := range rep.Notes {
+		if strings.Contains(n, "scale") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no scale-mismatch note in %v", rep.Notes)
+	}
+}
+
+func TestCheckBaselineBadFile(t *testing.T) {
+	if _, err := CheckBaseline(filepath.Join(t.TempDir(), "missing.json"),
+		NewMeta("x", 1, 1, 1), baselineRows(), 0.5); err == nil {
+		t.Error("missing baseline accepted")
+	}
+}

@@ -10,21 +10,24 @@ import (
 )
 
 // Flags bundles the observability options shared by every CLA command:
-// the paper-style stats report, the trace/JSONL event sinks, and CPU/heap
-// profiles.
+// the paper-style stats report, the trace/JSONL event sinks, and
+// CPU/heap/block/mutex profiles.
 type Flags struct {
-	Stats      bool
-	Trace      string
-	JSONL      string
-	CPUProfile string
-	MemProfile string
+	Stats        bool
+	Trace        string
+	JSONL        string
+	CPUProfile   string
+	MemProfile   string
+	BlockProfile string
+	MutexProfile string
 
 	o       *Observer
 	cpuFile *os.File
 }
 
-// AddFlags registers -stats, -trace, -jsonl, -cpuprofile and -memprofile
-// on fs and returns the holder to query after parsing.
+// AddFlags registers -stats, -trace, -jsonl and the four profile flags
+// (-cpuprofile, -memprofile, -blockprofile, -mutexprofile) on fs and
+// returns the holder to query after parsing.
 func AddFlags(fs *flag.FlagSet) *Flags {
 	f := &Flags{}
 	fs.BoolVar(&f.Stats, "stats", false,
@@ -37,13 +40,18 @@ func AddFlags(fs *flag.FlagSet) *Flags {
 		"write a pprof CPU profile to this path")
 	fs.StringVar(&f.MemProfile, "memprofile", "",
 		"write a pprof heap profile to this path")
+	fs.StringVar(&f.BlockProfile, "blockprofile", "",
+		"write a pprof blocking profile to this path (records every blocking event)")
+	fs.StringVar(&f.MutexProfile, "mutexprofile", "",
+		"write a pprof mutex-contention profile to this path")
 	return f
 }
 
 // Any reports whether any observability output was requested.
 func (f *Flags) Any() bool {
 	return f.Stats || f.Trace != "" || f.JSONL != "" ||
-		f.CPUProfile != "" || f.MemProfile != ""
+		f.CPUProfile != "" || f.MemProfile != "" ||
+		f.BlockProfile != "" || f.MutexProfile != ""
 }
 
 // Observer returns the run's observer: non-nil when any of -stats,
@@ -57,8 +65,19 @@ func (f *Flags) Observer() *Observer {
 	return f.o
 }
 
-// Start begins CPU profiling if requested. Call Finish to stop it.
+// Start begins CPU profiling and enables the runtime's block/mutex
+// event recording when the matching profiles were requested. Call
+// Finish to stop profiling and write the outputs; Finish also restores
+// the block and mutex rates to their free defaults.
 func (f *Flags) Start() error {
+	if f.BlockProfile != "" {
+		// Rate 1 records every blocking event — the highest-fidelity
+		// setting, acceptable because profiling is explicitly opt-in.
+		runtime.SetBlockProfileRate(1)
+	}
+	if f.MutexProfile != "" {
+		runtime.SetMutexProfileFraction(1)
+	}
 	if f.CPUProfile == "" {
 		return nil
 	}
@@ -92,6 +111,14 @@ func (f *Flags) Finish() error {
 	if f.MemProfile != "" {
 		keep(f.writeMemProfile())
 	}
+	if f.BlockProfile != "" {
+		keep(writeLookupProfile(f.BlockProfile, "block"))
+		runtime.SetBlockProfileRate(0)
+	}
+	if f.MutexProfile != "" {
+		keep(writeLookupProfile(f.MutexProfile, "mutex"))
+		runtime.SetMutexProfileFraction(0)
+	}
 	if f.Trace != "" {
 		keep(writeFileWith(f.Trace, f.o.WriteTrace))
 	}
@@ -112,6 +139,24 @@ func (f *Flags) writeMemProfile() error {
 		return fmt.Errorf("obs: heap profile: %w", err)
 	}
 	return nil
+}
+
+// writeLookupProfile dumps one of the runtime's named profiles
+// ("block", "mutex") in pprof format.
+func writeLookupProfile(path, name string) error {
+	p := pprof.Lookup(name)
+	if p == nil {
+		return fmt.Errorf("obs: no %s profile", name)
+	}
+	file, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := p.WriteTo(file, 0); err != nil {
+		file.Close()
+		return fmt.Errorf("obs: %s profile: %w", name, err)
+	}
+	return file.Close()
 }
 
 func writeFileWith(path string, write func(w io.Writer) error) error {

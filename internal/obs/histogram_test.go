@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketIndexInvariants(t *testing.T) {
+	if got := bucketIndex(math.MaxInt64); got != histBuckets-1 {
+		t.Fatalf("bucketIndex(MaxInt64) = %d, want %d", got, histBuckets-1)
+	}
+	if got := bucketUpper(histBuckets - 1); got != math.MaxInt64 {
+		t.Fatalf("bucketUpper(last) = %d, want MaxInt64", got)
+	}
+	// Every value lands in a bucket whose range contains it, and bucket
+	// boundaries are monotone and contiguous.
+	prev := int64(-1)
+	for i := 0; i < histBuckets; i++ {
+		up := bucketUpper(i)
+		if up <= prev {
+			t.Fatalf("bucketUpper(%d) = %d not above previous %d", i, up, prev)
+		}
+		if got := bucketIndex(up); got != i {
+			t.Fatalf("bucketIndex(bucketUpper(%d)=%d) = %d", i, up, got)
+		}
+		if up < math.MaxInt64 {
+			if got := bucketIndex(up + 1); got != i+1 {
+				t.Fatalf("bucketIndex(%d) = %d, want %d", up+1, got, i+1)
+			}
+		}
+		prev = up
+	}
+	// Small values are exact; negatives clamp to zero.
+	for v := int64(0); v < 2*histSub; v++ {
+		if bucketUpper(bucketIndex(v)) != v {
+			t.Fatalf("small value %d not exact", v)
+		}
+	}
+	if bucketIndex(-5) != 0 {
+		t.Fatalf("negative value bucket = %d, want 0", bucketIndex(-5))
+	}
+}
+
+// TestHistogramQuantileAccuracy checks estimates against a known
+// distribution: the uniform integers 1..N have exact quantiles q*N, and
+// the log-linear buckets guarantee a relative error of at most
+// 1/histSub (plus one for the integer edge).
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	var h Histogram
+	const n = 100000
+	for v := int64(1); v <= n; v++ {
+		h.Observe(v)
+	}
+	if h.Count() != n {
+		t.Fatalf("count = %d, want %d", h.Count(), n)
+	}
+	if h.Sum() != n*(n+1)/2 {
+		t.Fatalf("sum = %d, want %d", h.Sum(), n*(n+1)/2)
+	}
+	for _, q := range []float64{0.50, 0.90, 0.99, 0.999} {
+		exact := q * n
+		got := float64(h.Quantile(q))
+		if got < exact {
+			t.Errorf("Quantile(%g) = %g below exact %g (must be an upper bound)", q, got, exact)
+		}
+		if maxAllowed := exact*(1+1.0/histSub) + 1; got > maxAllowed {
+			t.Errorf("Quantile(%g) = %g, want <= %g", q, got, maxAllowed)
+		}
+	}
+	// Exact region: a histogram of small values answers exactly.
+	var small Histogram
+	for v := int64(0); v < 10; v++ {
+		small.Observe(v)
+	}
+	if got := small.Quantile(0.5); got != 4 {
+		t.Errorf("small Quantile(0.5) = %d, want 4", got)
+	}
+	if got := small.Quantile(1); got != 9 {
+		t.Errorf("small Quantile(1) = %d, want 9", got)
+	}
+}
+
+// TestHistogramConcurrentWriters is the lock-free contract under -race:
+// many goroutines observe concurrently (with readers running) and no
+// observation is lost or double-counted.
+func TestHistogramConcurrentWriters(t *testing.T) {
+	var h Histogram
+	const (
+		writers = 8
+		perG    = 10000
+	)
+	done := make(chan struct{})
+	go func() { // concurrent reader
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				h.Quantile(0.99)
+				h.Count()
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(int64(g*1000 + i%997))
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(done)
+	if got := h.Count(); got != writers*perG {
+		t.Fatalf("count = %d, want %d", got, writers*perG)
+	}
+	_, total := h.snapshot()
+	if total != writers*perG {
+		t.Fatalf("bucket total = %d, want %d", total, writers*perG)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b, whole Histogram
+	for v := int64(0); v < 1000; v++ {
+		whole.Observe(v)
+		if v%2 == 0 {
+			a.Observe(v)
+		} else {
+			b.Observe(v)
+		}
+	}
+	a.Merge(&b)
+	if a.Count() != whole.Count() || a.Sum() != whole.Sum() {
+		t.Fatalf("merged count/sum = %d/%d, want %d/%d",
+			a.Count(), a.Sum(), whole.Count(), whole.Sum())
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.999} {
+		if a.Quantile(q) != whole.Quantile(q) {
+			t.Fatalf("merged Quantile(%g) = %d, want %d", q, a.Quantile(q), whole.Quantile(q))
+		}
+	}
+}
+
+func TestNilHistogramNoOps(t *testing.T) {
+	var h *Histogram
+	h.Observe(5)
+	h.ObserveSince(time.Now())
+	h.Merge(&Histogram{})
+	(&Histogram{}).Merge(h)
+	if h.Count() != 0 || h.Sum() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram not a no-op")
+	}
+	var o *Observer
+	if o.Histogram("x") != nil {
+		t.Fatal("nil observer returned non-nil histogram")
+	}
+	if o.Histograms() != nil {
+		t.Fatal("nil observer returned histograms")
+	}
+	n := testing.AllocsPerRun(100, func() {
+		h.Observe(1)
+		_ = h.Count()
+	})
+	if n != 0 {
+		t.Fatalf("nil histogram allocates %.1f per op, want 0", n)
+	}
+}
+
+func TestObserverHistogramRegistry(t *testing.T) {
+	o := New()
+	o.Histogram("b").Observe(2)
+	o.Histogram("a").Observe(1)
+	o.Histogram("b").Observe(3)
+	hs := o.Histograms()
+	if len(hs) != 2 || hs[0].Name != "a" || hs[1].Name != "b" {
+		t.Fatalf("registry = %+v", hs)
+	}
+	if hs[1].H.Count() != 2 {
+		t.Fatalf("b count = %d, want 2", hs[1].H.Count())
+	}
+}

@@ -1,0 +1,44 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Logger is the streaming counterpart of WriteJSONL for long-running
+// processes: it writes one JSON value per line to a shared writer,
+// serialized by a mutex so concurrent request handlers never interleave
+// records. The serving layer's access and slow-query logs are Logger
+// records. The nil *Logger drops everything, so callers hold one
+// unconditionally.
+type Logger struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewLogger wraps w; a nil writer yields the no-op nil logger.
+func NewLogger(w io.Writer) *Logger {
+	if w == nil {
+		return nil
+	}
+	return &Logger{w: w}
+}
+
+// Log marshals v and writes it as one line. Each record is written with
+// a single Write call, so an *os.File sink needs no extra buffering or
+// flushing to stay line-atomic.
+func (l *Logger) Log(v any) error {
+	if l == nil {
+		return nil
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, err = l.w.Write(b)
+	return err
+}

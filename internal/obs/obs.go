@@ -62,6 +62,7 @@ type Observer struct {
 	cmu      sync.Mutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
 }
 
 // New creates an empty observer whose epoch is now.
@@ -70,6 +71,7 @@ func New() *Observer {
 		epoch:    time.Now(),
 		counters: map[string]*Counter{},
 		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
 	}
 }
 

@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+)
+
+// promName sanitizes a registry name for the Prometheus exposition
+// format: [a-zA-Z0-9_:] only, leading digits escaped with an
+// underscore. The dotted registry convention ("serve.query.pointsto")
+// maps onto the Prometheus convention ("serve_query_pointsto").
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if r >= '0' && r <= '9' && i == 0 {
+			b.WriteByte('_')
+			b.WriteRune(r)
+			continue
+		}
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WriteProm renders the full registry — counters, gauges, then
+// histograms with their _bucket/_sum/_count series — in Prometheus text
+// exposition format (version 0.0.4). Families appear sorted by name and
+// buckets ascending by "le", so the output is byte-deterministic for a
+// fixed set of recorded values at any -j; only the values themselves
+// vary between runs. Latency histograms record nanoseconds, so "le"
+// boundaries are integer nanoseconds.
+//
+// Empty buckets are elided (the cumulative _bucket values remain
+// correct); every histogram still ends with the mandatory le="+Inf"
+// bucket. A nil observer writes nothing.
+func (o *Observer) WriteProm(w io.Writer) error {
+	if o == nil {
+		return nil
+	}
+	var buf bytes.Buffer
+	for _, m := range o.Counters() {
+		n := promName(m.Name)
+		fmt.Fprintf(&buf, "# TYPE %s counter\n%s %d\n", n, n, m.Value)
+	}
+	for _, m := range o.Gauges() {
+		n := promName(m.Name)
+		fmt.Fprintf(&buf, "# TYPE %s gauge\n%s %d\n", n, n, m.Value)
+	}
+	for _, hm := range o.Histograms() {
+		writePromHist(&buf, promName(hm.Name), hm.H)
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// writePromHist renders one histogram family. The bucket counts are
+// snapshotted once and summed, so the emitted _count always equals the
+// +Inf bucket even under concurrent writers.
+func writePromHist(buf *bytes.Buffer, name string, h *Histogram) {
+	counts, total := h.snapshot()
+	fmt.Fprintf(buf, "# TYPE %s histogram\n", name)
+	var cum int64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		fmt.Fprintf(buf, "%s_bucket{le=\"%d\"} %d\n", name, bucketUpper(i), cum)
+	}
+	fmt.Fprintf(buf, "%s_bucket{le=\"+Inf\"} %d\n", name, total)
+	fmt.Fprintf(buf, "%s_sum %d\n", name, h.Sum())
+	fmt.Fprintf(buf, "%s_count %d\n", name, total)
+}
+
+// CaptureRuntime publishes process-health gauges — goroutine count,
+// heap in use, cumulative GC pause and GC cycle count — into the
+// registry, so one /statsz or /metricsz scrape carries both serving
+// metrics and runtime health. Call it at scrape time; ReadMemStats has
+// a cost that doesn't belong in any hot path.
+func (o *Observer) CaptureRuntime() {
+	if o == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	o.Gauge("runtime.goroutines").Set(int64(runtime.NumGoroutine()))
+	o.Gauge("runtime.heap_inuse_bytes").Set(int64(ms.HeapInuse))
+	o.Gauge("runtime.gc_pause_total_ns").Set(int64(ms.PauseTotalNs))
+	o.Gauge("runtime.gc_cycles").Set(int64(ms.NumGC))
+}

@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestWritePromGolden pins the exposition format byte for byte: family
+// ordering is sorted by name (counters, gauges, histograms), bucket
+// lines ascend by le, and re-rendering the same registry is identical —
+// the determinism /metricsz promises at any -j.
+func TestWritePromGolden(t *testing.T) {
+	o := New()
+	o.Counter("serve.requests").Add(3)
+	o.Counter("load.blocks").Add(7)
+	o.Gauge("serve.inflight").Set(2)
+	h := o.Histogram("serve.query.pointsto")
+	h.Observe(3)     // exact bucket: le="3"
+	h.Observe(3)     // same bucket, cumulative 2
+	h.Observe(100)   // [96,103]: le="103"
+	h.Observe(12000) // [11264,12287]: le="12287"
+
+	const want = `# TYPE load_blocks counter
+load_blocks 7
+# TYPE serve_requests counter
+serve_requests 3
+# TYPE serve_inflight gauge
+serve_inflight 2
+# TYPE serve_query_pointsto histogram
+serve_query_pointsto_bucket{le="3"} 2
+serve_query_pointsto_bucket{le="103"} 3
+serve_query_pointsto_bucket{le="12287"} 4
+serve_query_pointsto_bucket{le="+Inf"} 4
+serve_query_pointsto_sum 12106
+serve_query_pointsto_count 4
+`
+	var buf bytes.Buffer
+	if err := o.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != want {
+		t.Errorf("WriteProm output:\n%s\nwant:\n%s", buf.String(), want)
+	}
+	var again bytes.Buffer
+	if err := o.WriteProm(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Error("WriteProm is not deterministic across renders")
+	}
+}
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"serve.query.pointsto": "serve_query_pointsto",
+		"runtime.gc_cycles":    "runtime_gc_cycles",
+		"9lives":               "_9lives",
+		"a-b c/d":              "a_b_c_d",
+		"ok_name:sub":          "ok_name:sub",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestWritePromNil(t *testing.T) {
+	var o *Observer
+	var buf bytes.Buffer
+	if err := o.WriteProm(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil WriteProm: err=%v, wrote %d bytes", err, buf.Len())
+	}
+}
+
+func TestCaptureRuntime(t *testing.T) {
+	var nilObs *Observer
+	nilObs.CaptureRuntime() // must not panic
+	o := New()
+	o.CaptureRuntime()
+	gauges := map[string]int64{}
+	for _, m := range o.Gauges() {
+		gauges[m.Name] = m.Value
+	}
+	if gauges["runtime.goroutines"] <= 0 {
+		t.Errorf("runtime.goroutines = %d, want > 0", gauges["runtime.goroutines"])
+	}
+	if gauges["runtime.heap_inuse_bytes"] <= 0 {
+		t.Errorf("runtime.heap_inuse_bytes = %d, want > 0", gauges["runtime.heap_inuse_bytes"])
+	}
+	for _, name := range []string{"runtime.gc_pause_total_ns", "runtime.gc_cycles"} {
+		if _, ok := gauges[name]; !ok {
+			t.Errorf("missing gauge %s", name)
+		}
+	}
+	var buf bytes.Buffer
+	if err := o.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "# TYPE runtime_goroutines gauge") {
+		t.Errorf("prom output missing runtime gauges:\n%s", buf.String())
+	}
+}
+
+func TestLogger(t *testing.T) {
+	var nilLogger *Logger
+	if err := nilLogger.Log(map[string]int{"x": 1}); err != nil {
+		t.Fatalf("nil logger: %v", err)
+	}
+	if NewLogger(nil) != nil {
+		t.Fatal("NewLogger(nil) != nil")
+	}
+	var buf bytes.Buffer
+	l := NewLogger(&buf)
+	if err := l.Log(map[string]string{"id": "r-1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Log(map[string]string{"id": "r-2"}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) != 2 || !strings.Contains(lines[0], `"r-1"`) || !strings.Contains(lines[1], `"r-2"`) {
+		t.Fatalf("logger output = %q", buf.String())
+	}
+	if err := l.Log(func() {}); err == nil {
+		t.Fatal("unmarshalable value accepted")
+	}
+}

@@ -130,7 +130,8 @@ func writeTrace(w io.Writer, evs []Event, counters, gauges []Metric) error {
 	return err
 }
 
-// jsonlRecord is one JSON-lines record: a span, a counter or a gauge.
+// jsonlRecord is one JSON-lines record: a span, a counter, a gauge or a
+// histogram summary.
 type jsonlRecord struct {
 	Type    string `json:"type"`
 	Name    string `json:"name"`
@@ -139,6 +140,12 @@ type jsonlRecord struct {
 	DurNS   int64  `json:"dur_ns,omitempty"`
 	Alloc   int64  `json:"alloc_bytes,omitempty"`
 	Value   int64  `json:"value,omitempty"`
+	// Histogram summaries: observation count, value sum and quantile
+	// estimates (upper bounds, see Histogram.Quantile).
+	Count int64 `json:"count,omitempty"`
+	Sum   int64 `json:"sum,omitempty"`
+	P50   int64 `json:"p50,omitempty"`
+	P99   int64 `json:"p99,omitempty"`
 }
 
 // WriteJSONL emits the run as JSON lines — one span, counter or gauge
@@ -174,6 +181,14 @@ func (o *Observer) WriteJSONL(w io.Writer) error {
 	}
 	for _, m := range o.Gauges() {
 		if err := enc.Encode(jsonlRecord{Type: "gauge", Name: m.Name, Value: m.Value}); err != nil {
+			return err
+		}
+	}
+	for _, hm := range o.Histograms() {
+		rec := jsonlRecord{Type: "histogram", Name: hm.Name,
+			Count: hm.H.Count(), Sum: hm.H.Sum(),
+			P50: hm.H.Quantile(0.50), P99: hm.H.Quantile(0.99)}
+		if err := enc.Encode(rec); err != nil {
 			return err
 		}
 	}

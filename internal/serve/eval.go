@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"cla/internal/checks"
 	"cla/internal/claerr"
@@ -67,9 +68,23 @@ func (e *Evaluator) NumAssigns() int { return len(e.Prog.Assigns) }
 // matching slot; the returned error is non-nil only when ctx fired, in
 // which case undispatched queries never ran.
 func (e *Evaluator) EvalBatch(ctx context.Context, qs []Query) ([]QueryResult, error) {
+	return e.EvalBatchObserve(ctx, qs, nil)
+}
+
+// EvalBatchObserve is EvalBatch with a per-query completion hook: after
+// each query evaluates, observe receives it with its wall time. The
+// serving layer feeds its latency histograms through this; a nil hook
+// makes it plain EvalBatch. The hook is called from the batch fan-out
+// workers, so it must be safe for concurrent use.
+func (e *Evaluator) EvalBatchObserve(ctx context.Context, qs []Query,
+	observe func(q Query, d time.Duration)) ([]QueryResult, error) {
 	results := make([]QueryResult, len(qs))
 	err := parallel.ForEachCtx(ctx, e.Jobs, len(qs), func(i int) error {
+		start := time.Now()
 		results[i] = e.Eval(ctx, qs[i])
+		if observe != nil {
+			observe(qs[i], time.Since(start))
+		}
 		return nil
 	})
 	if err != nil {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"strconv"
@@ -22,8 +23,17 @@ type ServerConfig struct {
 	// Deadline caps each request's evaluation time (0 = no deadline).
 	// The client's disconnect cancels evaluation either way.
 	Deadline time.Duration
-	// Obs backs /statsz; a fresh observer is created when nil.
+	// Obs backs /statsz and /metricsz; a fresh observer is created when
+	// nil.
 	Obs *obs.Observer
+	// AccessLog, when non-nil, receives one JSON line per served request
+	// (see accessRecord). Writes are serialized by the server.
+	AccessLog io.Writer
+	// SlowQuery is the latency at or above which a request is always
+	// logged and flagged slow, bypassing sampling (0 disables).
+	SlowQuery time.Duration
+	// LogSample logs 1 in N requests to AccessLog (<= 1 logs all).
+	LogSample int
 }
 
 // Server serves the query API over HTTP. Routes:
@@ -41,12 +51,17 @@ type ServerConfig struct {
 type Server struct {
 	Sessions *Registry
 
-	cfg      ServerConfig
-	o        *obs.Observer
-	mux      *http.ServeMux
-	http     *http.Server
-	draining atomic.Bool
-	inflight atomic.Int64
+	cfg          ServerConfig
+	o            *obs.Observer
+	mux          *http.ServeMux
+	handler      http.Handler
+	http         *http.Server
+	access       *obs.Logger
+	idBase       string
+	draining     atomic.Bool
+	inflight     atomic.Int64
+	httpInflight atomic.Int64
+	reqSeq       atomic.Uint64
 }
 
 // NewServer builds a server over a session registry.
@@ -55,20 +70,27 @@ func NewServer(reg *Registry, cfg ServerConfig) *Server {
 	if o == nil {
 		o = obs.New()
 	}
-	s := &Server{Sessions: reg, cfg: cfg, o: o, mux: http.NewServeMux()}
+	s := &Server{
+		Sessions: reg, cfg: cfg, o: o, mux: http.NewServeMux(),
+		access: obs.NewLogger(cfg.AccessLog),
+		idBase: fmt.Sprintf("%08x", time.Now().UnixNano()&0xffffffff),
+	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
+	s.mux.HandleFunc("GET /metricsz", s.handleMetricsz)
 	s.mux.HandleFunc("GET /v1/sessions", s.handleSessions)
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
 	for _, kind := range []string{"pointsto", "alias", "callgraph", "modref", "dependence", "lint"} {
 		s.mux.HandleFunc("GET /v1/"+kind, s.singleHandler(kind))
 	}
-	s.http = &http.Server{Handler: s.mux}
+	s.handler = s.instrument(s.mux)
+	s.http = &http.Server{Handler: s.handler}
 	return s
 }
 
-// Handler exposes the route table (for tests via httptest).
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler exposes the instrumented route table (for tests via
+// httptest) — the same handler Serve uses, middleware included.
+func (s *Server) Handler() http.Handler { return s.handler }
 
 // Serve accepts connections on ln until Shutdown. It returns
 // http.ErrServerClosed after a clean shutdown, like net/http.
@@ -95,7 +117,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
-// statszBody is the /statsz response shape.
+// statszBody is the /statsz response shape. Gauges include the
+// runtime.* health readings captured at scrape time, so a fleet
+// health-checker needs only this one target.
 type statszBody struct {
 	Sessions []statszSession  `json:"sessions"`
 	Counters map[string]int64 `json:"counters"`
@@ -120,6 +144,7 @@ type statszSession struct {
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	s.o.CaptureRuntime()
 	body := statszBody{
 		Sessions: []statszSession{},
 		Counters: metricMap(s.o.Counters()),
@@ -168,7 +193,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	s.o.Counter("serve.queries").Add(int64(len(req.Queries)))
 	s.o.Gauge("serve.inflight").Set(s.inflight.Add(int64(len(req.Queries))))
-	results, err := sess.Eval.EvalBatch(ctx, req.Queries)
+	results, err := sess.Eval.EvalBatchObserve(ctx, req.Queries,
+		func(q Query, d time.Duration) { s.observeQuery(sess, q.Kind, d) })
 	s.o.Gauge("serve.inflight").Set(s.inflight.Add(-int64(len(req.Queries))))
 	if err != nil {
 		s.fail(w, err)
@@ -215,7 +241,9 @@ func (s *Server) singleHandler(kind string) http.HandlerFunc {
 		}
 		ctx, cancel := s.requestCtx(r)
 		defer cancel()
+		start := time.Now()
 		res := sess.Eval.Eval(ctx, q)
+		s.observeQuery(sess, kind, time.Since(start))
 		if res.Err != nil {
 			s.o.Counter("serve.errors").Add(1)
 			writeJSON(w, res.Err.Status, res)
