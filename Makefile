@@ -26,7 +26,7 @@ vet:
 # engine, the shared set layer, the query-serving layer and the metrics
 # layer must stay race-clean and deterministic at any -j.
 race:
-	$(GO) test -race ./internal/core ./internal/driver ./internal/linker ./internal/parallel ./internal/pts/worklist ./internal/checks ./internal/pts/set ./internal/serve ./internal/extmodel ./internal/obs
+	$(GO) test -race ./internal/core ./internal/driver ./internal/linker ./internal/parallel ./internal/pts/worklist ./internal/checks ./internal/pts/set ./internal/serve ./internal/extmodel ./internal/obs ./internal/snapfile
 
 check: build fmt vet test race
 
@@ -38,25 +38,28 @@ bench:
 bench-smoke:
 	$(GO) test -run=^$$ -bench=. -benchtime=1x ./internal/pts/set ./internal/core
 
-# Perf regression gate: re-run the corpus-conformance table and compare
-# its timings against the committed BENCH_corpus.json baseline. The
-# tolerance is generous because CI hosts differ from the baseline host;
-# it still catches order-of-magnitude regressions. Pass
+# Perf regression gate: re-run the corpus-conformance and cold-start
+# tables and compare their timings against the committed
+# BENCH_corpus.json / BENCH_snapshot.json baselines. The tolerance is
+# generous because CI hosts differ from the baseline host; it still
+# catches order-of-magnitude regressions. Pass
 # CHECK_FLAGS="-fresh-dir out" to keep the fresh rows as artifacts.
 TOLERANCE ?= 9
 bench-check:
 	$(GO) run ./cmd/clabench -table 13 -check -tolerance $(TOLERANCE) $(CHECK_FLAGS)
+	$(GO) run ./cmd/clabench -table 14 -scale 1.0 -j 4 -check -tolerance $(TOLERANCE) $(CHECK_FLAGS)
 
 # Short fuzz runs over the binary object-file reader, the trace encoder,
-# the adaptive set layer and the extern-model path: corrupt inputs must
-# error (never panic or corrupt output), set operations must match their
-# map oracles, and the extern models must stay monotone and deterministic
-# on arbitrary translation units.
+# the adaptive set layer, the extern-model path and the solved-snapshot
+# reader: corrupt inputs must error (never panic or corrupt output), set
+# operations must match their map oracles, and the extern models must
+# stay monotone and deterministic on arbitrary translation units.
 fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzReader -fuzztime=10s ./internal/objfile
 	$(GO) test -run=^$$ -fuzz=FuzzTrace -fuzztime=10s ./internal/obs
 	$(GO) test -run=^$$ -fuzz=FuzzSetOps -fuzztime=10s ./internal/pts/set
 	$(GO) test -run=^$$ -fuzz=FuzzExterns -fuzztime=10s ./internal/extmodel
+	$(GO) test -run=^$$ -fuzz=FuzzSnapshot -fuzztime=10s ./internal/snapfile
 
 clean:
 	$(GO) clean ./...

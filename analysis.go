@@ -16,6 +16,7 @@ import (
 	"cla/internal/pts/onelevel"
 	"cla/internal/pts/steens"
 	"cla/internal/pts/worklist"
+	"cla/internal/snapfile"
 )
 
 // Algorithm selects a points-to solver.
@@ -140,6 +141,13 @@ type AnalyzeOptions struct {
 	Observer *Observer
 }
 
+func (o *AnalyzeOptions) algorithm() Algorithm {
+	if o == nil {
+		return PreTransitive
+	}
+	return o.Algorithm
+}
+
 func (o *AnalyzeOptions) extModel() ExtModel {
 	if o == nil {
 		return ExtModelUnsound
@@ -167,12 +175,14 @@ func (o *AnalyzeOptions) coreConfig() core.Config {
 
 // Analysis holds a solved points-to relation over a database.
 type Analysis struct {
-	db  *Database
-	src pts.Source
-	res pts.Result
-	ext ExtModel        // the extern model the solve ran under
-	r   *objfile.Reader // non-nil for AnalyzeFile
-	o   *obs.Observer   // non-nil when an Observer was attached
+	db   *Database
+	src  pts.Source
+	res  pts.Result
+	alg  Algorithm        // the solver that produced res
+	ext  ExtModel         // the extern model the solve ran under
+	r    *objfile.Reader  // non-nil for AnalyzeFile
+	snap *snapfile.Reader // non-nil for OpenSnapshot
+	o    *obs.Observer    // non-nil when an Observer was attached
 
 	// evOnce lazily builds the query evaluator shared by Analysis.Query
 	// and Serve (see serve.go).
@@ -202,7 +212,8 @@ func (db *Database) AnalyzeCtx(ctx context.Context, opts *AnalyzeOptions) (*Anal
 	if err != nil {
 		return nil, claerr.New(claerr.PhaseAnalyze, err)
 	}
-	return &Analysis{db: adb, src: src, res: res, ext: opts.extModel(), o: opts.observer()}, nil
+	return &Analysis{db: adb, src: src, res: res, alg: opts.algorithm(),
+		ext: opts.extModel(), o: opts.observer()}, nil
 }
 
 // AnalyzeFile opens a serialized database and analyzes it with demand
@@ -233,7 +244,8 @@ func AnalyzeFileCtx(ctx context.Context, path string, opts *AnalyzeOptions) (*An
 			return nil, claerr.File(claerr.PhaseAnalyze, path, err)
 		}
 		db := &Database{prog: prog}
-		return &Analysis{db: db, src: src, res: res, ext: m, o: opts.observer()}, nil
+		return &Analysis{db: db, src: src, res: res, alg: opts.algorithm(),
+			ext: m, o: opts.observer()}, nil
 	}
 	src := &pts.FileSource{R: r}
 	res, err := solve(ctx, src, opts)
@@ -245,13 +257,19 @@ func AnalyzeFileCtx(ctx context.Context, path string, opts *AnalyzeOptions) (*An
 	// Materialize symbols for Object accessors.
 	prog := &prim.Program{Syms: append([]prim.Symbol(nil), r.Syms()...)}
 	db := &Database{prog: prog}
-	return &Analysis{db: db, src: src, res: res, r: r, o: opts.observer()}, nil
+	return &Analysis{db: db, src: src, res: res, alg: opts.algorithm(),
+		r: r, o: opts.observer()}, nil
 }
 
-// Close releases the underlying file for AnalyzeFile analyses.
+// Close releases the underlying file for AnalyzeFile analyses and the
+// snapshot mapping for OpenSnapshot ones. After Close, objects returned
+// by a snapshot-backed analysis's queries must not be used.
 func (a *Analysis) Close() error {
 	if a.r != nil {
 		return a.r.Close()
+	}
+	if a.snap != nil {
+		return a.snap.Close()
 	}
 	return nil
 }

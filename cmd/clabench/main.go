@@ -15,6 +15,7 @@
 //	clabench -table 11 -j 8              # query serving: qps + latency percentiles
 //	clabench -table 12                   # phase-parallel wave fixpoint: seq vs wave solve
 //	clabench -table 13                   # real-C corpus conformance per extern model
+//	clabench -table 14                   # cold start: live solve vs solved snapshot
 //	clabench -all                        # everything
 //
 // Absolute times depend on the host; the shapes (who wins, by what
@@ -36,7 +37,7 @@ import (
 
 func main() {
 	var (
-		table     = flag.Int("table", 0, "table to regenerate (2-13)")
+		table     = flag.Int("table", 0, "table to regenerate (2-14)")
 		all       = flag.Bool("all", false, "regenerate every table")
 		scale     = flag.Float64("scale", 1.0, "workload scale factor")
 		seed      = flag.Int64("seed", 1, "generation seed")
@@ -50,6 +51,7 @@ func main() {
 		solveOut  = flag.String("solve-json", "BENCH_solve.json", "file recording the wave-fixpoint rows (empty to skip)")
 		corpus    = flag.String("corpus", "examples/corpus", "C source directory for the conformance table")
 		corpusOut = flag.String("corpus-json", "BENCH_corpus.json", "file recording the corpus-conformance rows (empty to skip)")
+		snapOut   = flag.String("snapshot-json", "BENCH_snapshot.json", "file recording the cold-start rows (empty to skip)")
 		queries   = flag.Int("queries", 2000, "queries per workload for the query-serving table")
 		check     = flag.Bool("check", false, "regression gate: compare fresh rows against the committed BENCH_*.json baselines instead of rewriting them; exit 1 on regression")
 		tolerance = flag.Float64("tolerance", 0.5, "-check slack as a fraction: 0.5 lets durations grow to 1.5x (and qps drop to 1/1.5x) before failing")
@@ -58,8 +60,8 @@ func main() {
 	obsFlags := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
 
-	if !*all && (*table < 2 || *table > 13) {
-		fmt.Fprintln(os.Stderr, "clabench: pass -all or -table 2..13")
+	if !*all && (*table < 2 || *table > 14) {
+		fmt.Fprintln(os.Stderr, "clabench: pass -all or -table 2..14")
 		os.Exit(2)
 	}
 	o := obsFlags.Observer()
@@ -310,6 +312,31 @@ func main() {
 		})
 		tsp.End()
 	}
+	if need(14) {
+		tsp := span("table 14")
+		p, ok := gen.ProfileByName(*profile)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "clabench: unknown profile %q\n", *profile)
+			os.Exit(1)
+		}
+		fmt.Printf("== Cold start: live parse+solve vs solved snapshot (%s at scale %g, -j %d) ==\n",
+			*profile, *scale, *jobs)
+		w, err := bench.BuildWorkload(p, *scale, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "clabench: %v\n", err)
+			os.Exit(1)
+		}
+		rows, err := bench.RunSnapshot(w, *jobs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "clabench: %v\n", err)
+			os.Exit(1)
+		}
+		bench.FormatSnapshot(os.Stdout, rows)
+		emit(*snapOut, "cold-start", rows, func(p string, m bench.Meta) error {
+			return bench.WriteSnapshotJSON(p, rows, m)
+		})
+		tsp.End()
+	}
 	if obsFlags.Stats {
 		var rep obs.Report
 		rep.Sections = append(rep.Sections, o.PhaseSection())
@@ -322,7 +349,7 @@ func main() {
 	if *check {
 		switch {
 		case checked == 0:
-			fmt.Fprintln(os.Stderr, "clabench: -check compared nothing (only tables 8-13 carry baselines)")
+			fmt.Fprintln(os.Stderr, "clabench: -check compared nothing (only tables 8-14 carry baselines)")
 			os.Exit(2)
 		case checkFailures > 0:
 			fmt.Fprintf(os.Stderr, "clabench: perf regression gate FAILED (%d of %d table(s))\n",

@@ -10,6 +10,9 @@
 //	claserve -deadline 5s program.cla         # per-request evaluation cap
 //	claserve -access-log access.jsonl src/    # JSONL request log
 //	claserve -debug-addr 127.0.0.1:0 src/     # pprof on its own listener
+//	claserve program.snap                     # serve a solved snapshot (no solve)
+//	claserve -preload a.snap,b.snap           # page snapshots in before READY
+//	claserve -no-verify program.snap          # skip snapshot staleness check
 //
 // Endpoints:
 //
@@ -66,6 +69,8 @@ func main() {
 		deadline   = flag.Duration("deadline", 0, "per-request evaluation deadline (0 = none)")
 		grace      = flag.Duration("grace", 10*time.Second, "drain timeout on shutdown")
 		ready      = flag.Bool("ready", false, "print one READY line once serving (for scripts)")
+		preload    = flag.String("preload", "", "comma-separated solved .snap files to open and page in before READY")
+		noVerify   = flag.Bool("no-verify", false, "open snapshots without re-hashing their recorded sources")
 		debugAddr  = flag.String("debug-addr", "", "separate TCP listener exposing /debug/pprof (empty = disabled)")
 		accessLog  = flag.String("access-log", "", "append one JSON line per served request to this file (\"-\" = stderr)")
 		slowQuery  = flag.Duration("slow-query", 0, "latency at or above which a request is always access-logged and flagged slow (0 = disabled)")
@@ -78,7 +83,7 @@ func main() {
 		slowQuery: *slowQuery, logSample: *logSample,
 	}
 	if err := run(flag.Args(), *listen, *unixSock, *name, *includes, *solverName,
-		*extModel, *jobs, *deadline, *grace, *ready, tel, obsFlags); err != nil {
+		*extModel, *preload, *noVerify, *jobs, *deadline, *grace, *ready, tel, obsFlags); err != nil {
 		fmt.Fprintf(os.Stderr, "claserve: %v\n", err)
 		os.Exit(claerr.ExitCode(err))
 	}
@@ -92,10 +97,10 @@ type telemetryOpts struct {
 	logSample int
 }
 
-func run(args []string, listen, unixSock, name, includes, solverName, extModel string,
-	jobs int, deadline, grace time.Duration, ready bool, tel telemetryOpts, obsFlags *obs.Flags) error {
-	if len(args) == 0 {
-		return claerr.Newf(claerr.PhaseUsage, "need a .cla database or a source directory")
+func run(args []string, listen, unixSock, name, includes, solverName, extModel, preload string,
+	noVerify bool, jobs int, deadline, grace time.Duration, ready bool, tel telemetryOpts, obsFlags *obs.Flags) error {
+	if len(args) == 0 && preload == "" {
+		return claerr.Newf(claerr.PhaseUsage, "need a .cla database, a source directory, a .snap snapshot or -preload")
 	}
 	solver, err := driver.ParseSolver(solverName)
 	if err != nil {
@@ -106,6 +111,12 @@ func run(args []string, listen, unixSock, name, includes, solverName, extModel s
 		return claerr.New(claerr.PhaseUsage, err)
 	}
 	o := obsFlags.Observer()
+	if o == nil {
+		// Always observe: session-open latencies (the serve.snapshot.load
+		// histogram) must land on the same observer /metricsz renders,
+		// which the server would otherwise create after sessions open.
+		o = obs.New()
+	}
 	parallel.SetObserver(o)
 	if err := obsFlags.Start(); err != nil {
 		return claerr.New(claerr.PhaseUsage, err)
@@ -115,8 +126,25 @@ func run(args []string, listen, unixSock, name, includes, solverName, extModel s
 	if includes != "" {
 		incDirs = strings.Split(includes, ",")
 	}
-	cfg := serve.Config{Solver: solver, ExtModel: model, Jobs: jobs, Includes: incDirs, Obs: o}
+	cfg := serve.Config{Solver: solver, ExtModel: model, Jobs: jobs, Includes: incDirs,
+		Obs: o, SkipVerify: noVerify}
 	reg := serve.NewRegistry()
+	// Preloaded snapshots open (and prefault) before anything else so
+	// READY means every -preload session answers at page-cache speed.
+	var preloads []string
+	if preload != "" {
+		preloads = strings.Split(preload, ",")
+	}
+	for _, path := range preloads {
+		sess, err := serve.Open(context.Background(), sessionName(path), path, cfg)
+		if err != nil {
+			return err
+		}
+		n := sess.Snap.Prefault()
+		reg.Add(sess)
+		fmt.Fprintf(os.Stderr, "claserve: session %q preloaded (%d symbols, %d bytes paged in)\n",
+			sess.Name, sess.Eval.NumSyms(), n)
+	}
 	for _, path := range args {
 		n := name
 		if n == "" || len(args) > 1 {
@@ -235,8 +263,9 @@ func listenOn(tcp, unixSock string) (net.Listener, string, error) {
 }
 
 // sessionName derives a session name from an input path: the basename
-// without a .cla extension.
+// without a .cla or .snap extension.
 func sessionName(path string) string {
 	base := filepath.Base(filepath.Clean(path))
-	return strings.TrimSuffix(base, ".cla")
+	base = strings.TrimSuffix(base, ".cla")
+	return strings.TrimSuffix(base, ".snap")
 }

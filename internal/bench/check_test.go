@@ -21,9 +21,11 @@ func writeBaseline(t *testing.T, rows []RowServe) string {
 
 func baselineRows() []RowServe {
 	return []RowServe{
-		{Name: "gimp", Jobs: 4, Queries: 1000, SetupTime: 100 * time.Millisecond,
+		{Name: "gimp", Jobs: 4, Queries: 1000, ParseTime: 60 * time.Millisecond,
+			SolveTime: 35 * time.Millisecond, LoadTime: 5 * time.Millisecond,
 			WallTime: 50 * time.Millisecond, QPS: 20000, P50: 30 * time.Microsecond, P99: 2 * time.Millisecond},
-		{Name: "nethack", Jobs: 4, Queries: 1000, SetupTime: 40 * time.Millisecond,
+		{Name: "nethack", Jobs: 4, Queries: 1000, ParseTime: 25 * time.Millisecond,
+			SolveTime: 12 * time.Millisecond, LoadTime: 3 * time.Millisecond,
 			WallTime: 30 * time.Millisecond, QPS: 33000, P50: 20 * time.Microsecond, P99: time.Millisecond},
 	}
 }
@@ -44,9 +46,37 @@ func TestCheckBaselinePasses(t *testing.T) {
 	if !rep.OK() || rep.Matched != 2 || rep.Regressions != 0 {
 		t.Fatalf("report = %+v, want clean pass on 2 rows", rep)
 	}
-	// Every row contributes wall/qps/p50/p99/setup findings.
-	if len(rep.Findings) != 2*5 {
-		t.Errorf("findings = %d, want 10", len(rep.Findings))
+	// Every row contributes parse/solve/load/wall/qps/p50/p99 findings.
+	if len(rep.Findings) != 2*7 {
+		t.Errorf("findings = %d, want 14", len(rep.Findings))
+	}
+}
+
+// TestCheckBaselineOldSchemaRowsStillMatch: a baseline written before
+// setup_ns was split into parse/solve/load still row-matches — missing
+// metrics are skipped on either side, so the gate compares the shared
+// columns instead of failing with zero matches.
+func TestCheckBaselineOldSchemaRowsStillMatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	old := []map[string]any{
+		{"name": "gimp", "jobs": 4, "queries": 1000, "setup_ns": 100e6,
+			"wall_ns": 50e6, "qps": 20000.0, "p50_ns": 30e3, "p99_ns": 2e6},
+		{"name": "nethack", "jobs": 4, "queries": 1000, "setup_ns": 40e6,
+			"wall_ns": 30e6, "qps": 33000.0, "p50_ns": 20e3, "p99_ns": 1e6},
+	}
+	if err := writeBenchJSON(path, NewMeta("query-serving", 4, 0.1, 1), old); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := CheckBaseline(path, NewMeta("query-serving", 4, 0.1, 1), baselineRows(), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() || rep.Matched != 2 {
+		t.Fatalf("report = %+v, want 2 matched rows across the schema bump", rep)
+	}
+	// Only the columns both sides share are gated: wall/qps/p50/p99.
+	if len(rep.Findings) != 2*4 {
+		t.Errorf("findings = %d, want 8 (shared columns only)", len(rep.Findings))
 	}
 }
 

@@ -1,0 +1,49 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSnapshotModes(t *testing.T) {
+	w := smallWorkload(t, "vortex")
+	rows, err := RunSnapshot(w, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want live + snap-mmap + snap-buffered", len(rows))
+	}
+	wantModes := []string{"live", "snap-mmap", "snap-buffered"}
+	for i, r := range rows {
+		if r.Mode != wantModes[i] {
+			t.Errorf("row %d mode = %q, want %q", i, r.Mode, wantModes[i])
+		}
+		if r.ColdStart <= 0 || r.FirstQuery <= 0 || r.LoadTime <= 0 {
+			t.Errorf("row %s has non-positive timings: %+v", r.Mode, r)
+		}
+	}
+	if rows[0].SolveTime <= 0 || rows[0].ParseTime <= 0 {
+		t.Errorf("live row missing parse/solve: %+v", rows[0])
+	}
+	for _, r := range rows[1:] {
+		if r.ParseTime != 0 || r.SolveTime != 0 {
+			t.Errorf("%s row carries parse/solve time: %+v", r.Mode, r)
+		}
+		if r.SnapshotBytes <= 0 {
+			t.Errorf("%s row missing snapshot size", r.Mode)
+		}
+		if r.Speedup <= 0 {
+			t.Errorf("%s row missing speedup", r.Mode)
+		}
+	}
+	var buf bytes.Buffer
+	FormatSnapshot(&buf, rows)
+	out := buf.String()
+	for _, want := range []string{"cold start", "snap-mmap", "snap-buffered", "x"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("format output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -43,6 +43,13 @@ const (
 // database does not contain. Test with errors.Is.
 var ErrNotFound = errors.New("not found")
 
+// ErrStale marks a solved snapshot whose recorded source hashes no
+// longer match the files on disk: the snapshot answers queries about a
+// program that has since changed. Test with errors.Is; the serving
+// layer maps it to 409 Conflict and the CLIs to exit code 3, so callers
+// can distinguish "rebuild the snapshot" from ordinary input errors.
+var ErrStale = errors.New("snapshot stale")
+
 // Error is the typed error of the public API: which phase failed, the
 // input file it failed on when one is known, and the underlying cause.
 // It supports errors.Is/As and unwraps to Err.
@@ -118,6 +125,7 @@ func PhaseOf(err error) Phase {
 //
 //	usage, query          400 (404 when wrapping ErrNotFound)
 //	compile, link, object 422 (the input database is unprocessable)
+//	ErrStale              409 (the snapshot no longer matches its sources)
 //	context.Canceled      499 (client closed request, nginx convention)
 //	context.DeadlineExceeded 504
 //	analyze, lint, serve and everything else 500
@@ -131,6 +139,8 @@ func HTTPStatus(err error) int {
 		return 499
 	case errors.Is(err, ErrNotFound):
 		return http.StatusNotFound
+	case errors.Is(err, ErrStale):
+		return http.StatusConflict
 	}
 	switch PhaseOf(err) {
 	case PhaseUsage, PhaseQuery:
@@ -143,13 +153,17 @@ func HTTPStatus(err error) int {
 
 // ExitCode maps an error to the exit-code convention the CLIs already
 // use: 2 for usage errors (bad flags, unknown solvers — the caller's
-// fault), 1 for everything else (the input's fault). A nil error is 0.
+// fault), 3 for stale snapshots (re-run the snapshot build), 1 for
+// everything else (the input's fault). A nil error is 0.
 func ExitCode(err error) int {
 	if err == nil {
 		return 0
 	}
 	if PhaseOf(err) == PhaseUsage {
 		return 2
+	}
+	if errors.Is(err, ErrStale) {
+		return 3
 	}
 	return 1
 }

@@ -219,6 +219,12 @@ func Solve(src pts.Source) (*Result, error) {
 	}
 
 	s.m.InFile = pts.TotalAssigns(src)
+	// Flatten every union-find path before publishing: queries then walk
+	// parent links without writing, so a Result is safe for concurrent
+	// PointsTo calls (the contract the serving layer relies on).
+	for v := range s.parent {
+		s.parent[v] = s.find(int32(v))
+	}
 	res := &Result{s: s}
 	vars, rels := 0, 0
 	for i := 0; i < n; i++ {
@@ -334,6 +340,16 @@ func (s *solver) find(v int32) int32 {
 	return v
 }
 
+// findRO follows parent links without compressing — the query-time
+// variant. Solve flattens every path before publishing, so this is one
+// hop; it must not write, because Results serve concurrent queries.
+func (s *solver) findRO(v int32) int32 {
+	for s.parent[v] != v {
+		v = s.parent[v]
+	}
+	return v
+}
+
 // contentsOf forces and returns contents(e). Virtual classes are their
 // own contents (see the virtual field).
 func (s *solver) contentsOf(e int32) int32 {
@@ -439,10 +455,10 @@ func (r *Result) PointsTo(sym prim.SymID) []prim.SymID {
 	}
 	seen := map[int32]struct{}{}
 	var out []prim.SymID
-	for _, e := range s.classesOf(int32(sym)) {
-		e = s.find(e)
+	s.ptsOf[sym].ForEach(func(cl int32) {
+		e := s.findRO(cl)
 		if _, ok := seen[e]; ok {
-			continue
+			return
 		}
 		seen[e] = struct{}{}
 		for _, m := range s.members[e] {
@@ -450,7 +466,7 @@ func (r *Result) PointsTo(sym prim.SymID) []prim.SymID {
 				out = append(out, m)
 			}
 		}
-	}
+	})
 	return set.SortDedup(out)
 }
 

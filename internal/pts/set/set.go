@@ -137,6 +137,13 @@ func (s *Set) AppendSyms(dst []prim.SymID) []prim.SymID {
 	return dst
 }
 
+// AppendU32 appends the elements, ascending, as uint32s — the stable
+// external encoding of a sealed set. Serializers (the solved-snapshot
+// format) store exactly this sequence regardless of the set's storage
+// tier, so files are byte-identical whether a set was sealed inline, as
+// an array or as a bitset.
+func (s *Set) AppendU32(dst []uint32) []uint32 { return s.appendU32(dst) }
+
 // appendU32 appends the elements, ascending, as uint32s.
 func (s *Set) appendU32(dst []uint32) []uint32 {
 	if s == nil {

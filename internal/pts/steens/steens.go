@@ -140,6 +140,12 @@ func Solve(src pts.Source) (*Result, error) {
 	}
 
 	s.m.InFile = pts.TotalAssigns(src)
+	// Flatten every union-find path before publishing: queries then walk
+	// parent links without writing, so a Result is safe for concurrent
+	// PointsTo calls (the contract the serving layer relies on).
+	for v := range s.parent {
+		s.parent[v] = s.find(int32(v))
+	}
 	res := &Result{s: s}
 	// Count metrics directly from class sizes: materializing each
 	// variable's set (as pts.SumRelations would) is quadratic when
@@ -165,6 +171,16 @@ func Solve(src pts.Source) (*Result, error) {
 func (s *solver) find(v int32) int32 {
 	for s.parent[v] != v {
 		s.parent[v] = s.parent[s.parent[v]]
+		v = s.parent[v]
+	}
+	return v
+}
+
+// findRO follows parent links without compressing — the query-time
+// variant. Solve flattens every path before publishing, so this is one
+// hop; it must not write, because Results serve concurrent queries.
+func (s *solver) findRO(v int32) int32 {
+	for s.parent[v] != v {
 		v = s.parent[v]
 	}
 	return v
@@ -264,12 +280,12 @@ func (r *Result) PointsTo(sym prim.SymID) []prim.SymID {
 	if int(sym) < 0 || int(sym) >= s.src.NumSyms() {
 		return nil
 	}
-	c := s.find(int32(sym))
+	c := s.findRO(int32(sym))
 	p := s.ptOf[c]
 	if p < 0 {
 		return nil
 	}
-	p = s.find(p)
+	p = s.findRO(p)
 	out := make([]prim.SymID, 0, len(s.members[p]))
 	for _, m := range s.members[p] {
 		if int(m) < s.src.NumSyms() {

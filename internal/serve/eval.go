@@ -207,6 +207,24 @@ func intersects(a, b []prim.SymID) bool {
 	return false
 }
 
+// SeedChecks installs a precomputed checks report — a solved snapshot's
+// cached one — so the first lint, callgraph or modref query returns it
+// instead of re-running the checks. It must be the report checksReport
+// itself would compute (all four checks, no externs) for snapshot-served
+// answers to stay byte-identical to live-solve ones. A no-op once the
+// report has been computed or seeded.
+func (e *Evaluator) SeedChecks(rep *checks.Report) {
+	if rep == nil {
+		return
+	}
+	e.checksOnce.Do(func() { e.checksRep = rep })
+}
+
+// ChecksReport returns the shared four-check report, computing it on
+// first use — the snapshot writer caches it in the file so SeedChecks
+// can restore it.
+func (e *Evaluator) ChecksReport() (*checks.Report, error) { return e.checksReport() }
+
 // checksReport runs all four checks once and shares the report.
 func (e *Evaluator) checksReport() (*checks.Report, error) {
 	e.checksOnce.Do(func() {

@@ -16,6 +16,7 @@ import (
 	"cla/internal/obs"
 	"cla/internal/prim"
 	"cla/internal/pts"
+	"cla/internal/snapfile"
 )
 
 // Config controls how a session's snapshot is built.
@@ -33,6 +34,9 @@ type Config struct {
 	Includes []string
 	// Obs, when non-nil, records the build phases and solver counters.
 	Obs *obs.Observer
+	// SkipVerify opens solved snapshots without re-hashing their recorded
+	// sources (trusted deploys, or when the sources are not on disk).
+	SkipVerify bool
 }
 
 // Session is one analyzed snapshot held by the server.
@@ -43,16 +47,26 @@ type Session struct {
 	Path string
 	// Eval answers queries against the snapshot.
 	Eval *Evaluator
+	// Snap holds the open solved-snapshot reader when the session was
+	// served from a .snap file; the Evaluator's sets alias its mapping,
+	// so it stays open for the session's lifetime. Nil for live solves.
+	Snap *snapfile.Reader
 	// Created is when the snapshot finished building.
 	Created time.Time
 }
 
 // Open builds a session from path: a directory is compiled and linked
 // (dir plus cfg.Includes on the include path), a .cla file is read
-// whole. Either way the full program is materialized in memory and
-// solved, so the resulting Evaluator has no mutable demand-load state
-// and serves concurrent queries safely.
+// whole, a .snap solved snapshot is paged in with no parse or solve at
+// all (cfg.Solver and cfg.ExtModel are then ignored — the snapshot
+// records the configuration it was solved under). Either way the full
+// program is materialized in memory and solved, so the resulting
+// Evaluator has no mutable demand-load state and serves concurrent
+// queries safely.
 func Open(ctx context.Context, name, path string, cfg Config) (*Session, error) {
+	if strings.HasSuffix(path, ".snap") {
+		return openSnapshot(name, path, cfg)
+	}
 	prog, err := load(ctx, path, cfg)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,151 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"cla/internal/claerr"
+	"cla/internal/driver"
+	"cla/internal/extmodel"
+	"cla/internal/snapfile"
+)
+
+// buildSnap builds and saves a snapshot of dir under cfg, returning the
+// .snap path.
+func buildSnap(t *testing.T, dir string, cfg Config) string {
+	t.Helper()
+	snap, err := BuildSnapshot(context.Background(), dir, cfg)
+	if err != nil {
+		t.Fatalf("BuildSnapshot: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "test.snap")
+	if err := snapfile.Save(path, snap); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	return path
+}
+
+// evalJSON runs the all-kinds mix and renders each result as JSON — the
+// byte-level form the HTTP layer would send.
+func evalJSON(t *testing.T, s *Session) []string {
+	t.Helper()
+	results, err := s.Eval.EvalBatch(context.Background(), mixedQueries())
+	if err != nil {
+		t.Fatalf("batch: %v", err)
+	}
+	out := make([]string, len(results))
+	for i, r := range results {
+		b, err := json.Marshal(r)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		out[i] = string(b)
+	}
+	return out
+}
+
+// TestSnapshotIdentity asserts snapshot-served answers are byte-identical
+// to live-solve ones for all six query kinds, across every solver, every
+// extern model and both worker counts.
+func TestSnapshotIdentity(t *testing.T) {
+	solvers := []driver.Solver{
+		driver.PreTransitive, driver.Worklist, driver.Steensgaard,
+		driver.BitVector, driver.OneLevel,
+	}
+	models := []extmodel.Model{extmodel.Unsound, extmodel.Blanket, extmodel.Escape}
+	dir := writeTestDir(t)
+	for _, solver := range solvers {
+		for _, model := range models {
+			for _, jobs := range []int{1, 8} {
+				name := fmt.Sprintf("%v/%v/j%d", solver, model, jobs)
+				t.Run(name, func(t *testing.T) {
+					cfg := Config{Solver: solver, ExtModel: model, Jobs: jobs}
+					live, err := Open(context.Background(), "live", dir, cfg)
+					if err != nil {
+						t.Fatalf("live open: %v", err)
+					}
+					snapSess, err := Open(context.Background(), "snap", buildSnap(t, dir, cfg), cfg)
+					if err != nil {
+						t.Fatalf("snapshot open: %v", err)
+					}
+					if snapSess.Snap == nil {
+						t.Fatal("snapshot session has no reader")
+					}
+					liveJSON, snapJSON := evalJSON(t, live), evalJSON(t, snapSess)
+					for i := range liveJSON {
+						if liveJSON[i] != snapJSON[i] {
+							t.Errorf("query %d differs:\n live %s\n snap %s",
+								i, liveJSON[i], snapJSON[i])
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestSnapshotStale asserts an edited source fails the open with the
+// typed staleness error (HTTP 409, exit code 3), and that SkipVerify
+// bypasses the check.
+func TestSnapshotStale(t *testing.T) {
+	dir := writeTestDir(t)
+	cfg := Config{Jobs: 1}
+	path := buildSnap(t, dir, cfg)
+	if _, err := Open(context.Background(), "s", path, cfg); err != nil {
+		t.Fatalf("fresh snapshot open: %v", err)
+	}
+	src := filepath.Join(dir, "a.c")
+	b, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(src, append(b, []byte("int added;\n")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Open(context.Background(), "s", path, cfg)
+	if !errors.Is(err, claerr.ErrStale) {
+		t.Fatalf("edited source: got %v, want ErrStale", err)
+	}
+	if got := claerr.HTTPStatus(err); got != 409 {
+		t.Fatalf("HTTPStatus = %d, want 409", got)
+	}
+	if got := claerr.ExitCode(err); got != 3 {
+		t.Fatalf("ExitCode = %d, want 3", got)
+	}
+	skip := cfg
+	skip.SkipVerify = true
+	if _, err := Open(context.Background(), "s", path, skip); err != nil {
+		t.Fatalf("SkipVerify open: %v", err)
+	}
+}
+
+// TestSnapshotConcurrentQueries hammers one snapshot-backed session from
+// many goroutines — the race detector guards the zero-copy read path.
+func TestSnapshotConcurrentQueries(t *testing.T) {
+	dir := writeTestDir(t)
+	cfg := Config{Jobs: 4}
+	sess, err := Open(context.Background(), "s", buildSnap(t, dir, cfg), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				if _, err := sess.Eval.EvalBatch(context.Background(), mixedQueries()); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

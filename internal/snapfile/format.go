@@ -1,0 +1,177 @@
+// Package snapfile implements the CLA solved-snapshot format (v2 of the
+// on-disk story): an indexed-block binary serialization of a *solved*
+// analysis — the post-extmodel program, the interned points-to sets, the
+// cached checks report and the extmodel soundness audit — so a query
+// server can cold-start by paging the file in instead of re-parsing and
+// re-solving. The layout follows the object format's idiom (magic +
+// version + section table + string pool) and adds what serving needs:
+// 8-byte-aligned sections so points-to set payloads can be used in place
+// from an mmap without decoding, a jobs-independence digest over the
+// result, and content hashes of the inputs for staleness detection.
+//
+// Layout (all integers little-endian):
+//
+//	header:   magic "CLAS", version u32, result digest u64 (FNV-1a over
+//	          every symbol's set elements — identical at any -j),
+//	          source digest u64 (FNV-1a over the source records),
+//	          file size u64, section count u32, pad u32,
+//	          section table: numSections × {offset u64, length u64};
+//	          every section offset is 8-byte aligned
+//	meta:     JSON: solver, extmodel, counts, pts.Metrics, source records
+//	          {path, size, content hash}
+//	strings:  string pool; each string is u32 length + bytes, referenced
+//	          by byte offset within the section (offset 0 = "")
+//	symbols:  u32 count, then fixed 24-byte records
+//	          {name u32, type u32, file u32, funcName u32, line i32,
+//	           kind u8, flags u8, pad u16} (the object format's record)
+//	assigns:  u32 count, then fixed 24-byte records in original program
+//	          order {dst u32, src u32, file u32, line i32, func u32,
+//	           kind u8, op u8, strength u8, pad u8} — the full database,
+//	          Base assignments included, so a MemSource rebuilt from the
+//	          snapshot is identical to the live-solve one
+//	funcs:    u32 count, then {func u32, ret u32, variadic u8, pad×3,
+//	           nparams u32, params u32...}
+//	calls:    u32 count, then 24-byte records {callee u32, file u32,
+//	           line i32, caller u32, args u32, indirect u8, pad×3}
+//	ptsidx:   u32 count (= symbol count), then count × u32 set id;
+//	          0xffffffff marks the empty set. Interning makes this double
+//	          as the representative table: symbols the solver unified
+//	          share one set id.
+//	setidx:   u32 count, pad u32, then count × {start u64 (element index
+//	          into elems), length u32, pad u32}
+//	elems:    raw u32 array: every distinct set's elements, ascending,
+//	          stored once (the sealed-set external encoding). The section
+//	          is 8-byte aligned, so on little-endian hosts PointsTo
+//	          returns subslices of the mapping itself — zero copies.
+//	report:   JSON: the cached four-check report and the extmodel audit
+//
+// Version policy: readers accept exactly one version; any incompatible
+// layout change bumps Version and old snapshots are rebuilt, never
+// migrated (a snapshot is a cache of a solve, not a database of record).
+package snapfile
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"cla/internal/checks"
+	"cla/internal/claerr"
+	"cla/internal/prim"
+	"cla/internal/pts"
+)
+
+// Magic identifies CLA solved-snapshot files.
+const Magic = "CLAS"
+
+// Version is the current snapshot format version.
+const Version = 1
+
+// section ids, in file order.
+const (
+	secMeta = iota
+	secStrings
+	secSymbols
+	secAssigns
+	secFuncs
+	secCalls
+	secPtsIdx
+	secSetIdx
+	secElems
+	secReport
+	numSections
+)
+
+const (
+	headerSize   = 4 + 4 + 8 + 8 + 8 + 4 + 4 + numSections*16
+	symRecSize   = 24
+	asgRecSize   = 24
+	callRecSize  = 24
+	setIdxRec    = 16
+	noSet        = 0xffffffff
+	maxSourceLen = 1 << 20 // meta/report JSON cap against hostile headers
+)
+
+// flag bits in symbol records (the object format's).
+const (
+	flagFuncPtr  = 1 << 0
+	flagInternal = 1 << 1
+	flagDefined  = 1 << 2
+)
+
+// Snapshot is the in-memory payload a snapshot file serializes: one
+// solved analysis plus the serving-layer caches derived from it.
+type Snapshot struct {
+	// Prog is the full post-extmodel database the solve ran on.
+	Prog *prim.Program
+	// Res is the solved points-to relation.
+	Res pts.Result
+	// Solver and ExtModel label the configuration that produced Res
+	// (driver.Solver and extmodel.Model display strings).
+	Solver   string
+	ExtModel string
+	// Report is the cached four-check report the serving layer would
+	// otherwise compute lazily (nil skips it).
+	Report *checks.Report
+	// Audit is the extmodel soundness inventory (nil skips it).
+	Audit *checks.Audit
+	// Sources are the input files the snapshot was built from, recorded
+	// for staleness detection.
+	Sources []SourceFile
+}
+
+// SourceFile records one input's identity for staleness checks.
+type SourceFile struct {
+	Path string `json:"path"`
+	Size int64  `json:"size"`
+	// Hash is the FNV-1a 64-bit content hash, 16 hex digits (a string
+	// because JSON numbers cannot carry 64 bits exactly).
+	Hash string `json:"hash"`
+}
+
+// Meta is the snapshot's JSON meta section.
+type Meta struct {
+	Solver   string       `json:"solver"`
+	ExtModel string       `json:"extmodel"`
+	Syms     int          `json:"syms"`
+	Assigns  int          `json:"assigns"`
+	Sets     int          `json:"sets"`
+	Elems    int          `json:"elems"`
+	Metrics  pts.Metrics  `json:"metrics"`
+	Sources  []SourceFile `json:"sources,omitempty"`
+}
+
+// reportBlob is the report section's JSON shape.
+type reportBlob struct {
+	Report *checks.Report `json:"report"`
+	Audit  *checks.Audit  `json:"audit,omitempty"`
+}
+
+var le = binary.LittleEndian
+
+// corrupt builds a corruption error.
+func corrupt(format string, args ...any) error {
+	return fmt.Errorf("snapfile: corrupt snapshot: %s", fmt.Sprintf(format, args...))
+}
+
+// stale builds a staleness error wrapping claerr.ErrStale, so callers
+// (and the serving layer's status mapping) can test with errors.Is.
+func stale(format string, args ...any) error {
+	return fmt.Errorf("snapfile: %s: %w", fmt.Sprintf(format, args...), claerr.ErrStale)
+}
+
+// fnv1a folds bytes into an FNV-1a 64-bit hash.
+func fnv1a(h uint64, b []byte) uint64 {
+	for _, c := range b {
+		h = (h ^ uint64(c)) * 1099511628211
+	}
+	return h
+}
+
+// fnv1aU32 folds one u32 into an FNV-1a 64-bit hash.
+func fnv1aU32(h uint64, v uint32) uint64 {
+	var b [4]byte
+	le.PutUint32(b[:], v)
+	return fnv1a(h, b[:])
+}
+
+const fnvOffset = uint64(14695981039346656037)

@@ -1,0 +1,18 @@
+//go:build !unix
+
+package snapfile
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapSupported reports whether this platform can map snapshots; the
+// reader falls back to a buffered read when it cannot.
+const mmapSupported = false
+
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	return nil, errors.New("snapfile: mmap unsupported on this platform")
+}
+
+func munmap(b []byte) error { return nil }

@@ -1,0 +1,29 @@
+//go:build unix
+
+package snapfile
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported reports whether this platform can map snapshots.
+const mmapSupported = true
+
+// mmapFile maps the open file read-only. The returned bytes stay valid
+// until munmap; N processes mapping the same snapshot share one page
+// cache, which is the point of the format.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	if size == 0 {
+		return nil, nil
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+// munmap releases a mapping produced by mmapFile.
+func munmap(b []byte) error {
+	if b == nil {
+		return nil
+	}
+	return syscall.Munmap(b)
+}

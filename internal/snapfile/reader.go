@@ -1,0 +1,561 @@
+package snapfile
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"os"
+	"unsafe"
+
+	"cla/internal/checks"
+	"cla/internal/prim"
+	"cla/internal/pts"
+)
+
+// Options configures Open.
+type Options struct {
+	// NoMmap forces the buffered read path even where mmap is available
+	// (benchmarking, or callers that must not hold a mapping).
+	NoMmap bool
+}
+
+// Reader is an opened solved snapshot. The program, meta, report and set
+// index are decoded eagerly and validated end to end at Open (including
+// the result digest, so bit-flips anywhere in the set data are caught up
+// front); the set elements themselves are served as views into the
+// mapping when the platform allows, so PointsTo is allocation-free.
+//
+// Lifetime: everything returned by Program, Result and Report remains
+// valid until Close. Close unmaps the file; after it, set slices
+// previously returned by Result().PointsTo must not be touched. A
+// serving process that never tears sessions down never calls Close.
+type Reader struct {
+	data   []byte
+	mapped bool
+
+	meta         Meta
+	resultDigest uint64
+	srcDigest    uint64
+	prog         *prim.Program
+	res          *Result
+	report       *checks.Report
+	audit        *checks.Audit
+	zeroCopy     bool
+}
+
+// Result is the snapshot-backed pts.Result: O(1), read-only and safe
+// for concurrent use, like every post-fixpoint snapshot in the system.
+type Result struct {
+	ptsIdx  []uint32
+	start   []uint32
+	length  []uint32
+	elems   []prim.SymID
+	metrics pts.Metrics
+}
+
+// PointsTo implements pts.Result. The returned slice aliases the
+// snapshot mapping (zero-copy) and must be treated as read-only.
+func (r *Result) PointsTo(sym prim.SymID) []prim.SymID {
+	if int(sym) < 0 || int(sym) >= len(r.ptsIdx) {
+		return nil
+	}
+	id := r.ptsIdx[sym]
+	if id == noSet {
+		return nil
+	}
+	s, n := r.start[id], r.length[id]
+	return r.elems[s : s+n : s+n]
+}
+
+// Metrics implements pts.Result, returning the solve-time metrics the
+// snapshot recorded.
+func (r *Result) Metrics() pts.Metrics { return r.metrics }
+
+// Open opens and validates the named snapshot. It maps the file when the
+// platform supports it and falls back to a buffered read otherwise (or
+// when opts.NoMmap is set); Mapped reports which path was taken.
+func Open(path string, opts Options) (*Reader, error) {
+	if mmapSupported && !opts.NoMmap {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		st, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		data, merr := mmapFile(f, st.Size())
+		f.Close() // the mapping survives the descriptor
+		if merr == nil {
+			r, err := decode(data, true)
+			if err != nil {
+				munmap(data)
+				return nil, err
+			}
+			return r, nil
+		}
+		// Graceful fallback: mmap can fail on exotic filesystems.
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return decode(data, false)
+}
+
+// OpenBytes validates a snapshot held in memory (tests, fuzzing).
+func OpenBytes(data []byte) (*Reader, error) { return decode(data, false) }
+
+// Close releases the mapping (a no-op for buffered reads). See the
+// lifetime rules in the Reader doc.
+func (r *Reader) Close() error {
+	if !r.mapped {
+		return nil
+	}
+	r.mapped = false
+	data := r.data
+	r.data = nil
+	return munmap(data)
+}
+
+// Meta returns the snapshot's meta header.
+func (r *Reader) Meta() Meta { return r.meta }
+
+// Program returns the decoded post-extmodel database.
+func (r *Reader) Program() *prim.Program { return r.prog }
+
+// Result returns the snapshot-backed points-to relation.
+func (r *Reader) Result() pts.Result { return r.res }
+
+// Report returns the cached checks report, nil when none was stored.
+func (r *Reader) Report() *checks.Report { return r.report }
+
+// Audit returns the extmodel soundness inventory, nil when none stored.
+func (r *Reader) Audit() *checks.Audit { return r.audit }
+
+// ResultDigest returns the header's jobs-independence digest.
+func (r *Reader) ResultDigest() uint64 { return r.resultDigest }
+
+// Mapped reports whether the snapshot is mmap-backed.
+func (r *Reader) Mapped() bool { return r.mapped }
+
+// ZeroCopy reports whether set elements are served directly from the
+// file bytes (little-endian host, aligned data) or were decode-copied.
+func (r *Reader) ZeroCopy() bool { return r.zeroCopy }
+
+// VerifySources re-hashes the inputs recorded at write time and fails
+// with an error wrapping claerr.ErrStale when any is missing or
+// changed. A snapshot with no recorded sources always verifies.
+func (r *Reader) VerifySources() error {
+	for _, want := range r.meta.Sources {
+		got, err := HashFile(want.Path)
+		if err != nil {
+			return stale("source %s unreadable (%v)", want.Path, err)
+		}
+		if got.Size != want.Size || got.Hash != want.Hash {
+			return stale("source %s changed since the snapshot was written", want.Path)
+		}
+	}
+	return nil
+}
+
+// Prefault touches every page of the snapshot so a -preload'ed session
+// pays its page-ins before READY rather than on the first query.
+// Returns the number of bytes touched.
+func (r *Reader) Prefault() int {
+	var sink byte
+	for i := 0; i < len(r.data); i += 4096 {
+		sink ^= r.data[i]
+	}
+	_ = sink
+	return len(r.data)
+}
+
+// hostLittleEndian gates the zero-copy view: the format is little-endian
+// on disk, so only little-endian hosts may alias file bytes as integers.
+var hostLittleEndian = binary.NativeEndian.Uint32([]byte{1, 0, 0, 0}) == 1
+
+// u32View reinterprets b as a []uint32 without copying when safe
+// (little-endian host, 4-byte alignment); ok=false means the caller
+// must decode-copy.
+func u32View(b []byte) (view []uint32, ok bool) {
+	if len(b) == 0 {
+		return nil, true
+	}
+	if !hostLittleEndian || uintptr(unsafe.Pointer(&b[0]))%4 != 0 {
+		return nil, false
+	}
+	return unsafe.Slice((*uint32)(unsafe.Pointer(&b[0])), len(b)/4), true
+}
+
+// u32Decode copies b into a fresh []uint32 (the alignment/endianness
+// fallback).
+func u32Decode(b []byte) []uint32 {
+	out := make([]uint32, len(b)/4)
+	for i := range out {
+		out[i] = le.Uint32(b[i*4:])
+	}
+	return out
+}
+
+// decode parses and validates an entire snapshot image. Every index is
+// bounds-checked before use and every count is checked against its
+// section's size before allocation, so hostile inputs error without
+// panicking or over-allocating.
+func decode(data []byte, mapped bool) (*Reader, error) {
+	r := &Reader{data: data, mapped: mapped}
+	if len(data) < headerSize {
+		return nil, corrupt("file too small (%d bytes)", len(data))
+	}
+	if string(data[:4]) != Magic {
+		return nil, corrupt("bad magic %q", data[:4])
+	}
+	if v := le.Uint32(data[4:]); v != Version {
+		return nil, corrupt("unsupported version %d (want %d)", v, Version)
+	}
+	r.resultDigest = le.Uint64(data[8:])
+	r.srcDigest = le.Uint64(data[16:])
+	if sz := le.Uint64(data[24:]); sz != uint64(len(data)) {
+		return nil, corrupt("header size %d != file size %d", sz, len(data))
+	}
+	if n := le.Uint32(data[32:]); n != numSections {
+		return nil, corrupt("section count %d (want %d)", n, numSections)
+	}
+	var secs [numSections][]byte
+	p := 40
+	for i := 0; i < numSections; i++ {
+		off := le.Uint64(data[p:])
+		length := le.Uint64(data[p+8:])
+		p += 16
+		if off%8 != 0 || off < headerSize || off > uint64(len(data)) ||
+			length > uint64(len(data))-off {
+			return nil, corrupt("section %d out of bounds", i)
+		}
+		secs[i] = data[off : off+length]
+	}
+
+	if err := json.Unmarshal(secs[secMeta], &r.meta); err != nil {
+		return nil, corrupt("meta section: %v", err)
+	}
+	var blob reportBlob
+	if err := json.Unmarshal(secs[secReport], &blob); err != nil {
+		return nil, corrupt("report section: %v", err)
+	}
+	r.report, r.audit = blob.Report, blob.Audit
+
+	d := &decoder{strings: secs[secStrings]}
+	prog := &prim.Program{}
+	var err error
+	if prog.Syms, err = d.symbols(secs[secSymbols]); err != nil {
+		return nil, err
+	}
+	if prog.Assigns, err = d.assigns(secs[secAssigns], len(prog.Syms)); err != nil {
+		return nil, err
+	}
+	if prog.Funcs, err = d.funcs(secs[secFuncs], len(prog.Syms)); err != nil {
+		return nil, err
+	}
+	if prog.Calls, err = d.calls(secs[secCalls], len(prog.Syms)); err != nil {
+		return nil, err
+	}
+	r.prog = prog
+
+	res, zero, err := decodeResult(secs[secPtsIdx], secs[secSetIdx], secs[secElems],
+		len(prog.Syms), r.resultDigest)
+	if err != nil {
+		return nil, err
+	}
+	res.metrics = r.meta.Metrics
+	r.res = res
+	r.zeroCopy = zero
+	return r, nil
+}
+
+// decodeResult builds the Result and re-derives the jobs-independence
+// digest from the decoded relation, rejecting the file when it does not
+// match the header — the set data's end-to-end integrity check.
+func decodeResult(idxSec, setSec, elemSec []byte, numSyms int, wantDigest uint64) (*Result, bool, error) {
+	// ptsidx: count + one set id per symbol.
+	if len(idxSec) < 4 {
+		return nil, false, corrupt("ptsidx section too small")
+	}
+	if n := int(le.Uint32(idxSec)); n != numSyms || len(idxSec) < 4+n*4 {
+		return nil, false, corrupt("ptsidx count %d (want %d symbols)", n, numSyms)
+	}
+	ptsIdx, _ := u32View(idxSec[4 : 4+numSyms*4])
+	if ptsIdx == nil && numSyms > 0 {
+		ptsIdx = u32Decode(idxSec[4 : 4+numSyms*4])
+	}
+
+	// setidx: count, pad, then {start u64, length u32, pad u32} records.
+	if len(setSec) < 8 {
+		return nil, false, corrupt("setidx section too small")
+	}
+	nSets := int(le.Uint32(setSec))
+	if nSets < 0 || len(setSec) != 8+nSets*setIdxRec {
+		return nil, false, corrupt("setidx size mismatch (%d sets, %d bytes)", nSets, len(setSec))
+	}
+
+	// elems: raw u32 array, zero-copy when alignment and endianness allow.
+	nElems := len(elemSec) / 4
+	var elems []prim.SymID
+	zero := false
+	if view, ok := u32View(elemSec[:nElems*4]); ok {
+		elems = unsafe.Slice((*prim.SymID)(unsafe.Pointer(unsafe.SliceData(view))), len(view))
+		zero = nElems > 0
+	} else {
+		dec := u32Decode(elemSec[:nElems*4])
+		elems = make([]prim.SymID, len(dec))
+		for i, x := range dec {
+			elems[i] = prim.SymID(x)
+		}
+	}
+
+	res := &Result{
+		ptsIdx: ptsIdx,
+		start:  make([]uint32, nSets),
+		length: make([]uint32, nSets),
+		elems:  elems,
+	}
+	for i := 0; i < nSets; i++ {
+		rec := setSec[8+i*setIdxRec:]
+		start := le.Uint64(rec)
+		length := le.Uint32(rec[8:])
+		if start > uint64(nElems) || uint64(length) > uint64(nElems)-start {
+			return nil, false, corrupt("set %d out of bounds", i)
+		}
+		if length == 0 {
+			return nil, false, corrupt("set %d is empty (empty sets are implicit)", i)
+		}
+		// Elements must be strictly ascending symbol ids: the invariant
+		// every consumer of pts.Result relies on.
+		prev := prim.SymID(-1)
+		for _, e := range elems[start : start+uint64(length)] {
+			if e <= prev || int(e) >= numSyms {
+				return nil, false, corrupt("set %d has bad element %d", i, e)
+			}
+			prev = e
+		}
+		res.start[i] = uint32(start)
+		res.length[i] = length
+	}
+
+	digest := fnvOffset
+	for i := 0; i < numSyms; i++ {
+		id := ptsIdx[i]
+		if id == noSet {
+			continue
+		}
+		if int(id) >= nSets {
+			return nil, false, corrupt("symbol %d references set %d of %d", i, id, nSets)
+		}
+		digest = fnv1aU32(digest, uint32(i))
+		digest = fnv1aU32(digest, res.length[id])
+		for _, e := range res.elems[res.start[id] : res.start[id]+res.length[id]] {
+			digest = fnv1aU32(digest, uint32(e))
+		}
+	}
+	if digest != wantDigest {
+		return nil, false, corrupt("result digest mismatch (corrupted set data)")
+	}
+	return res, zero, nil
+}
+
+// decoder decodes the program sections against the resident string pool.
+type decoder struct {
+	strings []byte
+}
+
+// str decodes a string-pool reference.
+func (d *decoder) str(off uint32) (string, error) {
+	if int64(off)+4 > int64(len(d.strings)) {
+		return "", corrupt("string offset %d out of range", off)
+	}
+	n := le.Uint32(d.strings[off:])
+	end := int64(off) + 4 + int64(n)
+	if end > int64(len(d.strings)) {
+		return "", corrupt("string at %d overruns pool", off)
+	}
+	return string(d.strings[off+4 : end]), nil
+}
+
+func decodeSymID(v uint32) prim.SymID {
+	if v == 0xffffffff {
+		return prim.NoSym
+	}
+	return prim.SymID(v)
+}
+
+// checkSym validates a symbol reference against the table size.
+func checkSym(id prim.SymID, numSyms int) error {
+	if id == prim.NoSym {
+		return nil
+	}
+	if int(id) < 0 || int(id) >= numSyms {
+		return corrupt("symbol id %d out of range", id)
+	}
+	return nil
+}
+
+func (d *decoder) symbols(b []byte) ([]prim.Symbol, error) {
+	if len(b) < 4 {
+		return nil, corrupt("symbol section too small")
+	}
+	n := int(le.Uint32(b))
+	if n < 0 || n > len(b) || len(b) != 4+n*symRecSize {
+		return nil, corrupt("symbol section size mismatch (%d symbols, %d bytes)", n, len(b))
+	}
+	syms := make([]prim.Symbol, n)
+	for i := 0; i < n; i++ {
+		rec := b[4+i*symRecSize:]
+		name, err := d.str(le.Uint32(rec))
+		if err != nil {
+			return nil, err
+		}
+		typ, err := d.str(le.Uint32(rec[4:]))
+		if err != nil {
+			return nil, err
+		}
+		file, err := d.str(le.Uint32(rec[8:]))
+		if err != nil {
+			return nil, err
+		}
+		funcName, err := d.str(le.Uint32(rec[12:]))
+		if err != nil {
+			return nil, err
+		}
+		kind := prim.SymKind(rec[20])
+		if int(kind) >= prim.NumSymKinds {
+			return nil, corrupt("symbol %d has bad kind %d", i, kind)
+		}
+		flags := rec[21]
+		syms[i] = prim.Symbol{
+			Name: name, Type: typ, FuncName: funcName,
+			Loc:      prim.Loc{File: file, Line: int32(le.Uint32(rec[16:]))},
+			Kind:     kind,
+			FuncPtr:  flags&flagFuncPtr != 0,
+			Internal: flags&flagInternal != 0,
+			Defined:  flags&flagDefined != 0,
+		}
+	}
+	return syms, nil
+}
+
+func (d *decoder) assigns(b []byte, numSyms int) ([]prim.Assign, error) {
+	if len(b) < 4 {
+		return nil, corrupt("assign section too small")
+	}
+	n := int(le.Uint32(b))
+	if n < 0 || n > len(b) || len(b) != 4+n*asgRecSize {
+		return nil, corrupt("assign section size mismatch (%d assigns, %d bytes)", n, len(b))
+	}
+	out := make([]prim.Assign, n)
+	for i := 0; i < n; i++ {
+		rec := b[4+i*asgRecSize:]
+		a := prim.Assign{
+			Dst:      decodeSymID(le.Uint32(rec)),
+			Src:      decodeSymID(le.Uint32(rec[4:])),
+			Kind:     prim.Kind(rec[20]),
+			Op:       prim.Op(rec[21]),
+			Strength: prim.Strength(rec[22]),
+		}
+		if !a.Kind.Valid() {
+			return nil, corrupt("assign %d has bad kind %d", i, a.Kind)
+		}
+		if err := checkSym(a.Dst, numSyms); err != nil {
+			return nil, err
+		}
+		if err := checkSym(a.Src, numSyms); err != nil {
+			return nil, err
+		}
+		file, err := d.str(le.Uint32(rec[8:]))
+		if err != nil {
+			return nil, err
+		}
+		fn, err := d.str(le.Uint32(rec[16:]))
+		if err != nil {
+			return nil, err
+		}
+		a.Loc = prim.Loc{File: file, Line: int32(le.Uint32(rec[12:]))}
+		a.Func = fn
+		out[i] = a
+	}
+	return out, nil
+}
+
+func (d *decoder) funcs(b []byte, numSyms int) ([]prim.FuncRecord, error) {
+	if len(b) < 4 {
+		return nil, corrupt("func section too small")
+	}
+	n := int(le.Uint32(b))
+	if n < 0 || n > len(b) {
+		return nil, corrupt("func count %d out of range", n)
+	}
+	p := 4
+	out := make([]prim.FuncRecord, 0, min(n, 1024))
+	for i := 0; i < n; i++ {
+		if p+16 > len(b) {
+			return nil, corrupt("func record %d truncated", i)
+		}
+		rec := prim.FuncRecord{
+			Func:     decodeSymID(le.Uint32(b[p:])),
+			Ret:      decodeSymID(le.Uint32(b[p+4:])),
+			Variadic: b[p+8] != 0,
+		}
+		np := int(le.Uint32(b[p+12:]))
+		p += 16
+		if np < 0 || np > len(b) || p+np*4 > len(b) {
+			return nil, corrupt("func record %d params truncated", i)
+		}
+		for j := 0; j < np; j++ {
+			id := decodeSymID(le.Uint32(b[p+j*4:]))
+			if err := checkSym(id, numSyms); err != nil {
+				return nil, err
+			}
+			rec.Params = append(rec.Params, id)
+		}
+		p += np * 4
+		if err := checkSym(rec.Func, numSyms); err != nil {
+			return nil, err
+		}
+		if err := checkSym(rec.Ret, numSyms); err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+func (d *decoder) calls(b []byte, numSyms int) ([]prim.CallSite, error) {
+	if len(b) < 4 {
+		return nil, corrupt("call section too small")
+	}
+	n := int(le.Uint32(b))
+	if n < 0 || n > len(b) || len(b) != 4+n*callRecSize {
+		return nil, corrupt("call section size mismatch")
+	}
+	out := make([]prim.CallSite, n)
+	for i := 0; i < n; i++ {
+		rec := b[4+i*callRecSize:]
+		c := prim.CallSite{
+			Callee:   decodeSymID(le.Uint32(rec)),
+			Indirect: rec[20] != 0,
+			Args:     int(le.Uint32(rec[16:])),
+		}
+		if err := checkSym(c.Callee, numSyms); err != nil {
+			return nil, err
+		}
+		file, err := d.str(le.Uint32(rec[4:]))
+		if err != nil {
+			return nil, err
+		}
+		caller, err := d.str(le.Uint32(rec[12:]))
+		if err != nil {
+			return nil, err
+		}
+		c.Loc = prim.Loc{File: file, Line: int32(le.Uint32(rec[8:]))}
+		c.Caller = caller
+		out[i] = c
+	}
+	return out, nil
+}

@@ -33,6 +33,10 @@ type evalState = serve.Evaluator
 // reader's mutable demand-load state and are safe to run concurrently.
 func (a *Analysis) evaluator() (*evalState, error) {
 	a.evOnce.Do(func() {
+		if a.ev != nil {
+			// OpenSnapshot pre-seeds the evaluator.
+			return
+		}
 		prog, err := a.fullProgram()
 		if err != nil {
 			a.evErr = err
