@@ -23,10 +23,11 @@ vet:
 	$(GO) vet ./...
 
 # Race extras: the parallel pipeline, the wave fixpoints, the checks
-# engine, the shared set layer, the query-serving layer and the metrics
-# layer must stay race-clean and deterministic at any -j.
+# engine, the shared set layer, the query-serving layer, the metrics
+# layer and the incremental pipeline must stay race-clean and
+# deterministic at any -j.
 race:
-	$(GO) test -race ./internal/core ./internal/driver ./internal/linker ./internal/parallel ./internal/pts/worklist ./internal/checks ./internal/pts/set ./internal/serve ./internal/extmodel ./internal/obs ./internal/snapfile
+	$(GO) test -race ./internal/core ./internal/driver ./internal/linker ./internal/parallel ./internal/pts/worklist ./internal/checks ./internal/pts/set ./internal/serve ./internal/extmodel ./internal/obs ./internal/snapfile ./internal/incr
 
 check: build fmt vet test race
 
@@ -38,16 +39,17 @@ bench:
 bench-smoke:
 	$(GO) test -run=^$$ -bench=. -benchtime=1x ./internal/pts/set ./internal/core
 
-# Perf regression gate: re-run the corpus-conformance and cold-start
-# tables and compare their timings against the committed
-# BENCH_corpus.json / BENCH_snapshot.json baselines. The tolerance is
-# generous because CI hosts differ from the baseline host; it still
-# catches order-of-magnitude regressions. Pass
+# Perf regression gate: re-run the corpus-conformance, cold-start and
+# incremental-refresh tables and compare their timings against the
+# committed BENCH_corpus.json / BENCH_snapshot.json / BENCH_incr.json
+# baselines. The tolerance is generous because CI hosts differ from the
+# baseline host; it still catches order-of-magnitude regressions. Pass
 # CHECK_FLAGS="-fresh-dir out" to keep the fresh rows as artifacts.
 TOLERANCE ?= 9
 bench-check:
 	$(GO) run ./cmd/clabench -table 13 -check -tolerance $(TOLERANCE) $(CHECK_FLAGS)
 	$(GO) run ./cmd/clabench -table 14 -scale 1.0 -j 4 -check -tolerance $(TOLERANCE) $(CHECK_FLAGS)
+	$(GO) run ./cmd/clabench -table 15 -scale 1.0 -j 4 -check -tolerance $(TOLERANCE) $(CHECK_FLAGS)
 
 # Short fuzz runs over the binary object-file reader, the trace encoder,
 # the adaptive set layer, the extern-model path and the solved-snapshot

@@ -118,6 +118,12 @@ func (db *Database) Undefined() []UndefExtern {
 }
 
 // AnalyzeOptions configures an analysis run.
+//
+// AnalyzeOptions is the analyze half of the older split option surface;
+// new code should prefer the session-oriented API, whose single
+// WorkspaceOptions struct carries these fields alongside the compile
+// ones (see OpenWorkspace). Database.Analyze remains supported and is
+// exactly the analyze phase of a single-generation workspace.
 type AnalyzeOptions struct {
 	Algorithm Algorithm
 	// ExtModel closes the database over undefined externals before
@@ -183,6 +189,7 @@ type Analysis struct {
 	r    *objfile.Reader  // non-nil for AnalyzeFile
 	snap *snapfile.Reader // non-nil for OpenSnapshot
 	o    *obs.Observer    // non-nil when an Observer was attached
+	gen  uint64           // workspace generation; 0 for one-shot analyses
 
 	// evOnce lazily builds the query evaluator shared by Analysis.Query
 	// and Serve (see serve.go).
@@ -319,6 +326,17 @@ func solveAlg(ctx context.Context, src pts.Source, opts *AnalyzeOptions, alg Alg
 
 // Database returns the analyzed database.
 func (a *Analysis) Database() *Database { return a.db }
+
+// Generation returns the workspace generation this analysis snapshots,
+// numbered from 1. One-shot analyses (Analyze, AnalyzeFile,
+// OpenSnapshot) are generation 1 of an implicit single-generation
+// workspace.
+func (a *Analysis) Generation() uint64 {
+	if a.gen == 0 {
+		return 1
+	}
+	return a.gen
+}
 
 // PointsTo returns the objects obj may point to.
 func (a *Analysis) PointsTo(obj Object) []Object {

@@ -22,8 +22,8 @@ import (
 
 	"cla/internal/claerr"
 	"cla/internal/cpp"
-	"cla/internal/driver"
 	"cla/internal/frontend"
+	"cla/internal/incr"
 	"cla/internal/linker"
 	"cla/internal/objfile"
 	"cla/internal/obs"
@@ -42,6 +42,12 @@ const (
 )
 
 // Options configures the compile phase.
+//
+// Options is the compile half of the older split option surface; new
+// code should prefer the session-oriented API, whose single
+// WorkspaceOptions struct carries these fields alongside the analyze
+// ones (see OpenWorkspace). The one-shot entry points below remain
+// supported as thin equivalents of a single-generation workspace.
 type Options struct {
 	// Mode is the struct treatment (default FieldBased, as in the paper).
 	Mode StructMode
@@ -130,16 +136,18 @@ func CompileDir(dir string, opts *Options) (*Database, error) {
 // CompileDirCtx is CompileDir under a context: a cancellation stops
 // undispatched unit compiles and returns ctx's error. Options.IncludeDirs
 // joins dir on the #include search path of every unit.
+//
+// This is the compile half of a single-generation Workspace: it runs
+// the incremental pipeline's compile+link front end once (so the output
+// is exactly what OpenWorkspace would analyze). For a session that
+// stays open and recompiles only what changes, use OpenWorkspace.
 func CompileDirCtx(ctx context.Context, dir string, opts *Options) (*Database, error) {
-	o := frontend.Options{}
-	jobs := 0
-	var includes []string
+	cfg := incr.Config{Dir: dir, Frontend: opts.frontend(), Obs: opts.observer()}
 	if opts != nil {
-		o = opts.frontend()
-		jobs = opts.Jobs
-		includes = opts.IncludeDirs
+		cfg.Includes = opts.IncludeDirs
+		cfg.Jobs = opts.Jobs
 	}
-	prog, err := driver.CompileDirCtx(ctx, dir, includes, o, jobs, opts.observer())
+	prog, err := incr.CompileDir(ctx, cfg)
 	if err != nil {
 		return nil, claerr.File(claerr.PhaseCompile, dir, err)
 	}

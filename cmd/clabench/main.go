@@ -16,6 +16,7 @@
 //	clabench -table 12                   # phase-parallel wave fixpoint: seq vs wave solve
 //	clabench -table 13                   # real-C corpus conformance per extern model
 //	clabench -table 14                   # cold start: live solve vs solved snapshot
+//	clabench -table 15                   # incremental refresh: cold open vs warm edit
 //	clabench -all                        # everything
 //
 // Absolute times depend on the host; the shapes (who wins, by what
@@ -37,7 +38,7 @@ import (
 
 func main() {
 	var (
-		table     = flag.Int("table", 0, "table to regenerate (2-14)")
+		table     = flag.Int("table", 0, "table to regenerate (2-15)")
 		all       = flag.Bool("all", false, "regenerate every table")
 		scale     = flag.Float64("scale", 1.0, "workload scale factor")
 		seed      = flag.Int64("seed", 1, "generation seed")
@@ -52,6 +53,7 @@ func main() {
 		corpus    = flag.String("corpus", "examples/corpus", "C source directory for the conformance table")
 		corpusOut = flag.String("corpus-json", "BENCH_corpus.json", "file recording the corpus-conformance rows (empty to skip)")
 		snapOut   = flag.String("snapshot-json", "BENCH_snapshot.json", "file recording the cold-start rows (empty to skip)")
+		incrOut   = flag.String("incr-json", "BENCH_incr.json", "file recording the incremental-refresh rows (empty to skip)")
 		queries   = flag.Int("queries", 2000, "queries per workload for the query-serving table")
 		check     = flag.Bool("check", false, "regression gate: compare fresh rows against the committed BENCH_*.json baselines instead of rewriting them; exit 1 on regression")
 		tolerance = flag.Float64("tolerance", 0.5, "-check slack as a fraction: 0.5 lets durations grow to 1.5x (and qps drop to 1/1.5x) before failing")
@@ -60,8 +62,8 @@ func main() {
 	obsFlags := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
 
-	if !*all && (*table < 2 || *table > 14) {
-		fmt.Fprintln(os.Stderr, "clabench: pass -all or -table 2..14")
+	if !*all && (*table < 2 || *table > 15) {
+		fmt.Fprintln(os.Stderr, "clabench: pass -all or -table 2..15")
 		os.Exit(2)
 	}
 	o := obsFlags.Observer()
@@ -334,6 +336,31 @@ func main() {
 		bench.FormatSnapshot(os.Stdout, rows)
 		emit(*snapOut, "cold-start", rows, func(p string, m bench.Meta) error {
 			return bench.WriteSnapshotJSON(p, rows, m)
+		})
+		tsp.End()
+	}
+	if need(15) {
+		tsp := span("table 15")
+		p, ok := gen.ProfileByName(*profile)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "clabench: unknown profile %q\n", *profile)
+			os.Exit(1)
+		}
+		fmt.Printf("== Incremental refresh: cold open vs warm one-unit edit (%s at scale %g, -j %d) ==\n",
+			*profile, *scale, *jobs)
+		w, err := bench.BuildWorkload(p, *scale, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "clabench: %v\n", err)
+			os.Exit(1)
+		}
+		rows, err := bench.RunIncr(w, *jobs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "clabench: %v\n", err)
+			os.Exit(1)
+		}
+		bench.FormatIncr(os.Stdout, rows)
+		emit(*incrOut, "incremental-refresh", rows, func(p string, m bench.Meta) error {
+			return bench.WriteIncrJSON(p, rows, m)
 		})
 		tsp.End()
 	}

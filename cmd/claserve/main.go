@@ -13,6 +13,8 @@
 //	claserve program.snap                     # serve a solved snapshot (no solve)
 //	claserve -preload a.snap,b.snap           # page snapshots in before READY
 //	claserve -no-verify program.snap          # skip snapshot staleness check
+//	claserve -watch src/                      # poll for edits, swap generations
+//	claserve -cache-dir .clacache src/        # persist compiled unit databases
 //
 // Endpoints:
 //
@@ -20,6 +22,10 @@
 //	GET  /statsz                              sessions + observer metrics
 //	GET  /metricsz                            Prometheus text exposition
 //	GET  /v1/sessions                         registered session names
+//	POST /v1/sessions                         open a session {"name","path","watch"}
+//	GET  /v1/sessions/{id}                    generation + staleness + watch state
+//	POST /v1/sessions/{id}/refresh            rebuild what changed, swap generation
+//	DELETE /v1/sessions/{id}                  retire a session
 //	POST /v1/query                            batched queries (JSON)
 //	GET  /v1/pointsto?name=p                  single-query conveniences
 //	GET  /v1/alias?x=p&y=q
@@ -75,6 +81,9 @@ func main() {
 		accessLog  = flag.String("access-log", "", "append one JSON line per served request to this file (\"-\" = stderr)")
 		slowQuery  = flag.Duration("slow-query", 0, "latency at or above which a request is always access-logged and flagged slow (0 = disabled)")
 		logSample  = flag.Int("log-sample", 1, "log 1 in N requests to the access log (<= 1 logs all; slow requests bypass sampling)")
+		watch      = flag.Bool("watch", false, "poll directory sessions for edits and swap in refreshed analyses")
+		watchIvl   = flag.Duration("watch-interval", 500*time.Millisecond, "poll interval for -watch and watch-created sessions")
+		cacheDir   = flag.String("cache-dir", "", "persist compiled unit databases here (directory sessions reopen without parsing)")
 	)
 	obsFlags := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
@@ -82,8 +91,9 @@ func main() {
 		debugAddr: *debugAddr, accessLog: *accessLog,
 		slowQuery: *slowQuery, logSample: *logSample,
 	}
+	wopts := watchOpts{watch: *watch, interval: *watchIvl, cacheDir: *cacheDir}
 	if err := run(flag.Args(), *listen, *unixSock, *name, *includes, *solverName,
-		*extModel, *preload, *noVerify, *jobs, *deadline, *grace, *ready, tel, obsFlags); err != nil {
+		*extModel, *preload, *noVerify, *jobs, *deadline, *grace, *ready, tel, wopts, obsFlags); err != nil {
 		fmt.Fprintf(os.Stderr, "claserve: %v\n", err)
 		os.Exit(claerr.ExitCode(err))
 	}
@@ -97,8 +107,15 @@ type telemetryOpts struct {
 	logSample int
 }
 
+// watchOpts groups the incremental-serving flags.
+type watchOpts struct {
+	watch    bool
+	interval time.Duration
+	cacheDir string
+}
+
 func run(args []string, listen, unixSock, name, includes, solverName, extModel, preload string,
-	noVerify bool, jobs int, deadline, grace time.Duration, ready bool, tel telemetryOpts, obsFlags *obs.Flags) error {
+	noVerify bool, jobs int, deadline, grace time.Duration, ready bool, tel telemetryOpts, wopts watchOpts, obsFlags *obs.Flags) error {
 	if len(args) == 0 && preload == "" {
 		return claerr.Newf(claerr.PhaseUsage, "need a .cla database, a source directory, a .snap snapshot or -preload")
 	}
@@ -127,7 +144,7 @@ func run(args []string, listen, unixSock, name, includes, solverName, extModel, 
 		incDirs = strings.Split(includes, ",")
 	}
 	cfg := serve.Config{Solver: solver, ExtModel: model, Jobs: jobs, Includes: incDirs,
-		Obs: o, SkipVerify: noVerify}
+		CacheDir: wopts.cacheDir, Obs: o, SkipVerify: noVerify}
 	reg := serve.NewRegistry()
 	// Preloaded snapshots open (and prefault) before anything else so
 	// READY means every -preload session answers at page-cache speed.
@@ -143,7 +160,7 @@ func run(args []string, listen, unixSock, name, includes, solverName, extModel, 
 		n := sess.Snap.Prefault()
 		reg.Add(sess)
 		fmt.Fprintf(os.Stderr, "claserve: session %q preloaded (%d symbols, %d bytes paged in)\n",
-			sess.Name, sess.Eval.NumSyms(), n)
+			sess.Name, sess.Eval().NumSyms(), n)
 	}
 	for _, path := range args {
 		n := name
@@ -156,7 +173,14 @@ func run(args []string, listen, unixSock, name, includes, solverName, extModel, 
 		}
 		reg.Add(sess)
 		fmt.Fprintf(os.Stderr, "claserve: session %q ready (%d symbols, %d assignments)\n",
-			sess.Name, sess.Eval.NumSyms(), sess.Eval.NumAssigns())
+			sess.Name, sess.Eval().NumSyms(), sess.Eval().NumAssigns())
+		if wopts.watch && sess.Refreshable() {
+			if err := sess.StartWatch(wopts.interval); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "claserve: session %q watching %s (every %s)\n",
+				sess.Name, path, wopts.interval)
+		}
 	}
 
 	alw, closeLog, err := openAccessLog(tel.accessLog)
@@ -167,6 +191,7 @@ func run(args []string, listen, unixSock, name, includes, solverName, extModel, 
 	srv := serve.NewServer(reg, serve.ServerConfig{
 		Jobs: jobs, Deadline: deadline, Obs: o,
 		AccessLog: alw, SlowQuery: tel.slowQuery, LogSample: tel.logSample,
+		Session: cfg, WatchInterval: wopts.interval,
 	})
 	ln, addr, err := listenOn(listen, unixSock)
 	if err != nil {

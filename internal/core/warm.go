@@ -1,0 +1,26 @@
+package core
+
+import (
+	"context"
+
+	"cla/internal/pts"
+)
+
+// SolveWarmCtx is the pre-transitive solver's warm-start entry point:
+// when warm carries a fixpoint solved from the same constraint digest
+// (see pts.Warm), it is returned unchanged with reused=true and no work
+// is done; otherwise the solve runs from scratch. Reuse is byte-exact —
+// the solver is deterministic, so an unchanged database yields the
+// unchanged fixpoint — which is what lets the incremental pipeline skip
+// the solve phase entirely for no-op generations.
+func SolveWarmCtx(ctx context.Context, src pts.Source, cfg Config,
+	digest uint64, warm *pts.Warm) (res pts.Result, reused bool, err error) {
+	if warm.Match(digest) {
+		return warm.Result, true, nil
+	}
+	r, err := SolveCtx(ctx, src, cfg)
+	if err != nil {
+		return nil, false, err
+	}
+	return r, false, nil
+}

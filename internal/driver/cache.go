@@ -1,8 +1,6 @@
 package driver
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -16,6 +14,7 @@ import (
 	"cla/internal/linker"
 	"cla/internal/objfile"
 	"cla/internal/prim"
+	"cla/internal/srchash"
 )
 
 // This file implements the two build-system properties the paper calls out
@@ -99,14 +98,14 @@ func optsFingerprint(opts frontend.Options) string {
 
 // entryBase returns the cache file base name for (unit, opts).
 func (c *Cache) entryBase(unit string, opts frontend.Options) string {
-	h := sha256.Sum256([]byte("unit:" + unit + ";opts:" + optsFingerprint(opts)))
-	return hex.EncodeToString(h[:16])
+	return srchash.String("unit:" + unit + ";opts:" + optsFingerprint(opts))
 }
 
-// hashContent fingerprints one input file's contents.
+// hashContent fingerprints one input file's contents through the shared
+// srchash scheme (the same one snapshot staleness and the incremental
+// unit store use).
 func hashContent(content string) string {
-	h := sha256.Sum256([]byte(content))
-	return hex.EncodeToString(h[:12])
+	return srchash.String(content)
 }
 
 // CompileUnit compiles one unit through the cache. A cached entry is valid

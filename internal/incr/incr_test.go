@@ -1,0 +1,521 @@
+package incr
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"cla/internal/core"
+	"cla/internal/driver"
+	"cla/internal/extmodel"
+	"cla/internal/obs"
+	"cla/internal/prim"
+	"cla/internal/pts"
+	"cla/internal/srchash"
+)
+
+// A miniature workspace: four units, one header shared by exactly two of
+// them (list.c and table.c), one private header, so header edits have a
+// precise expected blast radius.
+var baseTree = map[string]string{
+	"shared.h": `
+void *malloc(unsigned long);
+struct node { struct node *next; int value; };
+extern struct node *head;
+struct node *push(struct node *h, int v);
+`,
+	"priv.h": `
+extern int counter;
+`,
+	"list.c": `
+#include "shared.h"
+struct node *head;
+struct node *push(struct node *h, int v) {
+	struct node *n = (struct node *)malloc(sizeof(struct node));
+	n->next = h;
+	n->value = v;
+	return n;
+}
+`,
+	"table.c": `
+#include "shared.h"
+struct node *bucket;
+void put(int v) { bucket = push(bucket, v); }
+`,
+	"count.c": `
+#include "priv.h"
+int counter;
+int *counter_addr(void) { return &counter; }
+`,
+	"main.c": `
+extern void put(int v);
+int main(void) { put(1); return 0; }
+`,
+}
+
+func writeTree(t *testing.T, dir string, files map[string]string) {
+	t.Helper()
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func edit(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func testConfig(dir string) Config {
+	return Config{
+		Dir:    dir,
+		Solver: driver.PreTransitive,
+		Core:   core.DefaultConfig(),
+		Jobs:   2,
+	}
+}
+
+// fingerprint renders a result as sorted "pointer -> {objects}" lines
+// keyed by symbol name and location, so it compares across independently
+// built programs, and digests them.
+func fingerprint(p *prim.Program, res pts.Result) string {
+	name := func(id prim.SymID) string {
+		s := &p.Syms[id]
+		return fmt.Sprintf("%s@%s:%d/%s", s.Name, s.Loc.File, s.Loc.Line, s.FuncName)
+	}
+	var lines []string
+	for id := range p.Syms {
+		set := res.PointsTo(prim.SymID(id))
+		if len(set) == 0 {
+			continue
+		}
+		names := make([]string, len(set))
+		for i, o := range set {
+			names[i] = name(o)
+		}
+		sort.Strings(names)
+		lines = append(lines, name(prim.SymID(id))+" -> {"+strings.Join(names, ", ")+"}")
+	}
+	sort.Strings(lines)
+	return srchash.String(strings.Join(lines, "\n"))
+}
+
+// scratchFingerprint builds the same analysis from scratch through the
+// one-shot driver path.
+func scratchFingerprint(t *testing.T, cfg Config) string {
+	t.Helper()
+	prog, err := driver.CompileDirCtx(context.Background(), cfg.Dir, cfg.Includes, cfg.Frontend, cfg.Jobs, nil)
+	if err != nil {
+		t.Fatalf("scratch compile: %v", err)
+	}
+	aprog, _ := extmodel.ApplyClone(prog, cfg.Model)
+	ccfg := cfg.Core
+	ccfg.Jobs = cfg.Jobs
+	res, err := driver.AnalyzeCtx(context.Background(), pts.NewMemSource(aprog), cfg.Solver, ccfg)
+	if err != nil {
+		t.Fatalf("scratch analyze: %v", err)
+	}
+	return fingerprint(aprog, res)
+}
+
+func TestOpenMatchesScratch(t *testing.T) {
+	dir := t.TempDir()
+	writeTree(t, dir, baseTree)
+	cfg := testConfig(dir)
+	p, err := Open(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := p.Current()
+	if res.Gen != 1 {
+		t.Fatalf("first generation = %d, want 1", res.Gen)
+	}
+	if res.Stats.Units != 4 || res.Stats.Recompiled != 4 {
+		t.Fatalf("stats = %+v, want 4 units all recompiled", res.Stats)
+	}
+	if got, want := fingerprint(res.Prog, res.Res), scratchFingerprint(t, cfg); got != want {
+		t.Fatalf("open fingerprint %s != scratch %s", got, want)
+	}
+}
+
+func TestNoopRefreshKeepsGeneration(t *testing.T) {
+	dir := t.TempDir()
+	writeTree(t, dir, baseTree)
+	p, err := Open(context.Background(), testConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := p.Current()
+	res, st, err := p.Refresh(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != first {
+		t.Fatal("no-op refresh built a new Result")
+	}
+	if st.Changed || st.Recompiled != 0 || st.Reused != 4 || !st.SolveReused {
+		t.Fatalf("no-op stats = %+v", st)
+	}
+}
+
+// TestSharedHeaderRecompilesExactlyItsUsers is the issue's e2e case: an
+// edit to a header included by two of four units must recompile exactly
+// those two (observed through the incr.* counters), and the incremental
+// result must be byte-identical to a from-scratch analysis.
+func TestSharedHeaderRecompilesExactlyItsUsers(t *testing.T) {
+	dir := t.TempDir()
+	writeTree(t, dir, baseTree)
+	cfg := testConfig(dir)
+	o := obs.New()
+	cfg.Obs = o
+	p, err := Open(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen1 := p.Current()
+	before := o.Counter("incr.units_recompiled").Value()
+
+	hdr := edit(t, dir, "shared.h", `
+void *malloc(unsigned long);
+struct node { struct node *next; int value; };
+extern struct node *head;
+extern struct node *tail;
+struct node *push(struct node *h, int v);
+`)
+	res, st, err := p.Update(context.Background(), hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Gen != gen1.Gen+1 {
+		t.Fatalf("generation = %d, want %d", res.Gen, gen1.Gen+1)
+	}
+	if st.Recompiled != 2 || st.Reused != 2 {
+		t.Fatalf("stats = %+v, want exactly the 2 header users recompiled", st)
+	}
+	if got := o.Counter("incr.units_recompiled").Value() - before; got != 2 {
+		t.Fatalf("incr.units_recompiled delta = %d, want 2", got)
+	}
+	if got, want := fingerprint(res.Prog, res.Res), scratchFingerprint(t, cfg); got != want {
+		t.Fatalf("incremental fingerprint %s != scratch %s", got, want)
+	}
+	// The old generation is untouched and still answers queries.
+	if gen1.Gen != 1 || len(gen1.Res.PointsTo(0)) != len(gen1.Res.PointsTo(0)) {
+		t.Fatal("previous generation mutated")
+	}
+}
+
+// TestIdentityAcrossSolversAndJobs pins the acceptance criterion: after
+// an edit, the incremental result is byte-identical to a from-scratch
+// build for every solver at -j 1 and -j 8.
+func TestIdentityAcrossSolversAndJobs(t *testing.T) {
+	solvers := []driver.Solver{
+		driver.PreTransitive, driver.Worklist, driver.Steensgaard,
+		driver.BitVector, driver.OneLevel,
+	}
+	for _, solver := range solvers {
+		for _, jobs := range []int{1, 8} {
+			t.Run(fmt.Sprintf("%v-j%d", solver, jobs), func(t *testing.T) {
+				dir := t.TempDir()
+				writeTree(t, dir, baseTree)
+				cfg := testConfig(dir)
+				cfg.Solver = solver
+				cfg.Jobs = jobs
+				cfg.Model = extmodel.Blanket
+				p, err := Open(context.Background(), cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				changed := edit(t, dir, "list.c", `
+#include "shared.h"
+struct node *head;
+struct node *spare;
+struct node *push(struct node *h, int v) {
+	struct node *n = (struct node *)malloc(sizeof(struct node));
+	n->next = h;
+	n->value = v;
+	spare = n;
+	return n;
+}
+`)
+				res, _, err := p.Update(context.Background(), changed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got, want := fingerprint(res.Prog, res.Res), scratchFingerprint(t, cfg); got != want {
+					t.Fatalf("incremental %s != scratch %s", got, want)
+				}
+			})
+		}
+	}
+}
+
+func TestCommentEditReusesFixpoint(t *testing.T) {
+	dir := t.TempDir()
+	writeTree(t, dir, baseTree)
+	p, err := Open(context.Background(), testConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen1 := p.Current()
+	// Same tokens on the same lines: the unit recompiles (its hash
+	// changed) but the database digest — and so the fixpoint and the
+	// generation — must not.
+	changed := edit(t, dir, "main.c", `
+extern void put(int v); /* callback into table.c */
+int main(void) { put(1); return 0; }
+`)
+	res, st, err := p.Update(context.Background(), changed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != gen1 {
+		t.Fatalf("generation bumped to %d on a semantics-preserving edit", res.Gen)
+	}
+	if st.Recompiled != 1 || !st.SolveReused || st.Changed {
+		t.Fatalf("stats = %+v, want 1 recompile with fixpoint reuse", st)
+	}
+}
+
+func TestAddAndRemoveUnit(t *testing.T) {
+	dir := t.TempDir()
+	writeTree(t, dir, baseTree)
+	p, err := Open(context.Background(), testConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra := edit(t, dir, "extra.c", `
+int extra_global;
+int *extra_addr(void) { return &extra_global; }
+`)
+	res, st, err := p.Update(context.Background(), extra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Units != 5 || st.Recompiled != 1 {
+		t.Fatalf("stats after add = %+v", st)
+	}
+	found := false
+	for i := range res.Prog.Syms {
+		if res.Prog.Syms[i].Name == "extra_global" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("added unit's global missing from new generation")
+	}
+	if err := os.Remove(extra); err != nil {
+		t.Fatal(err)
+	}
+	res, st, err = p.Update(context.Background(), extra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Units != 4 {
+		t.Fatalf("stats after remove = %+v", st)
+	}
+	for i := range res.Prog.Syms {
+		if res.Prog.Syms[i].Name == "extra_global" {
+			t.Fatal("removed unit's global still present")
+		}
+	}
+}
+
+func TestCompileErrorKeepsServingOldGeneration(t *testing.T) {
+	dir := t.TempDir()
+	writeTree(t, dir, baseTree)
+	p, err := Open(context.Background(), testConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen1 := p.Current()
+	broken := edit(t, dir, "count.c", `#include "priv.h"
+int counter = {{{;
+`)
+	if _, _, err := p.Update(context.Background(), broken); err == nil {
+		t.Fatal("expected a compile error")
+	}
+	if p.Current() != gen1 {
+		t.Fatal("failed refresh replaced the current generation")
+	}
+	fixed := edit(t, dir, "count.c", baseTree["count.c"])
+	res, _, err := p.Update(context.Background(), fixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Gen != gen1.Gen && res.Gen != gen1.Gen+1 {
+		t.Fatalf("unexpected generation %d after recovery", res.Gen)
+	}
+}
+
+func TestStoreWarmStartAcrossSessions(t *testing.T) {
+	dir := t.TempDir()
+	cache := t.TempDir()
+	writeTree(t, dir, baseTree)
+	cfg := testConfig(dir)
+	cfg.CacheDir = cache
+	p1, err := Open(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := p1.Current().Stats; st.Recompiled != 4 {
+		t.Fatalf("first session stats = %+v", st)
+	}
+	p2, err := Open(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := p2.Current().Stats
+	if st.Recompiled != 0 || st.StoreHits != 4 {
+		t.Fatalf("second session stats = %+v, want all 4 units from the store", st)
+	}
+	if got, want := fingerprint(p2.Current().Prog, p2.Current().Res), fingerprint(p1.Current().Prog, p1.Current().Res); got != want {
+		t.Fatalf("store-served fingerprint %s != parsed %s", got, want)
+	}
+}
+
+func TestStaleProbe(t *testing.T) {
+	dir := t.TempDir()
+	writeTree(t, dir, baseTree)
+	p, err := Open(context.Background(), testConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stale, changed := p.Stale(); stale {
+		t.Fatalf("fresh workspace reported stale: %v", changed)
+	}
+	hdr := edit(t, dir, "priv.h", "extern int counter; extern int other;\n")
+	stale, changed := p.Stale()
+	if !stale {
+		t.Fatal("edited workspace reported clean")
+	}
+	found := false
+	for _, c := range changed {
+		if c == hdr {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("changed set %v missing %s", changed, hdr)
+	}
+	if _, _, err := p.Refresh(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if stale, changed := p.Stale(); stale {
+		t.Fatalf("refreshed workspace reported stale: %v", changed)
+	}
+}
+
+func TestTrackedFilesCoversIncludeClosure(t *testing.T) {
+	dir := t.TempDir()
+	writeTree(t, dir, baseTree)
+	p, err := Open(context.Background(), testConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := p.TrackedFiles()
+	want := []string{"count.c", "list.c", "main.c", "priv.h", "shared.h", "table.c"}
+	if len(got) != len(want) {
+		t.Fatalf("tracked = %v, want %d files", got, len(want))
+	}
+	for i, name := range want {
+		if filepath.Base(got[i]) != name {
+			t.Fatalf("tracked[%d] = %s, want %s", i, got[i], name)
+		}
+	}
+}
+
+func TestPollWatcherAndWatchLoop(t *testing.T) {
+	dir := t.TempDir()
+	writeTree(t, dir, baseTree)
+	p, err := Open(context.Background(), testConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewPollWatcher(dir, p.TrackedFiles, 20*time.Millisecond)
+	defer w.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	type outcome struct {
+		res *Result
+		err error
+	}
+	got := make(chan outcome, 8)
+	go WatchLoop(ctx, p, w, 30*time.Millisecond, func(r *Result, _ RefreshStats, err error) {
+		got <- outcome{r, err}
+	})
+
+	// mtime resolution can swallow an immediate rewrite; wait a tick.
+	time.Sleep(30 * time.Millisecond)
+	edit(t, dir, "count.c", `
+#include "priv.h"
+int counter;
+int shadow;
+int *counter_addr(void) { return &shadow; }
+`)
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case oc := <-got:
+			if oc.err != nil {
+				t.Fatalf("watch refresh error: %v", oc.err)
+			}
+			if oc.res != nil && oc.res.Gen == 2 {
+				return // the edit landed as a new generation
+			}
+		case <-deadline:
+			t.Fatal("watcher never delivered the edit")
+		}
+	}
+}
+
+// An edit that lands after the pipeline builds but before the watcher's
+// baseline scan is invisible to the watcher — its baseline already
+// carries the post-edit stamps. WatchLoop's catch-up probe must find it
+// by re-hashing against the pipeline's recorded content.
+func TestWatchLoopCatchesPreBaselineEdit(t *testing.T) {
+	dir := t.TempDir()
+	writeTree(t, dir, baseTree)
+	p, err := Open(context.Background(), testConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Edit BEFORE the watcher exists: the baseline scan will stamp the
+	// edited file and never emit an event for it.
+	edit(t, dir, "count.c", `
+#include "priv.h"
+int counter;
+int shadow;
+int *counter_addr(void) { return &shadow; }
+`)
+	w := NewPollWatcher(dir, p.TrackedFiles, time.Hour) // ticks never fire
+	defer w.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	got := make(chan *Result, 8)
+	go WatchLoop(ctx, p, w, 30*time.Millisecond, func(r *Result, _ RefreshStats, err error) {
+		if err != nil {
+			t.Errorf("watch refresh error: %v", err)
+		}
+		got <- r
+	})
+	select {
+	case r := <-got:
+		if r == nil || r.Gen != 2 {
+			t.Fatalf("catch-up result = %+v, want generation 2", r)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("WatchLoop never caught up with the pre-baseline edit")
+	}
+}

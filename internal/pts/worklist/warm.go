@@ -1,0 +1,24 @@
+package worklist
+
+import (
+	"context"
+
+	"cla/internal/pts"
+)
+
+// SolveWarmJobsCtx is the worklist solver's warm-start entry point: when
+// warm carries a fixpoint solved from the same constraint digest (see
+// pts.Warm), it is returned unchanged with reused=true; otherwise the
+// solve runs from scratch at the given jobs setting. The reuse is
+// byte-exact because the solver is deterministic at every -j.
+func SolveWarmJobsCtx(ctx context.Context, src pts.Source, jobs int,
+	digest uint64, warm *pts.Warm) (res pts.Result, reused bool, err error) {
+	if warm.Match(digest) {
+		return warm.Result, true, nil
+	}
+	r, err := SolveJobsCtx(ctx, src, jobs)
+	if err != nil {
+		return nil, false, err
+	}
+	return r, false, nil
+}

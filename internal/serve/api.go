@@ -54,10 +54,14 @@ type Query struct {
 	Checks []string `json:"checks,omitempty"`
 }
 
-// Response answers a Request, results in query order.
+// Response answers a Request, results in query order. Generation
+// identifies the session generation the whole batch was evaluated
+// against (1 for one-shot sessions); it only moves when a watch-mode
+// refresh swaps in a new fixpoint.
 type Response struct {
-	Session string        `json:"session"`
-	Results []QueryResult `json:"results"`
+	Session    string        `json:"session"`
+	Generation uint64        `json:"generation,omitempty"`
+	Results    []QueryResult `json:"results"`
 }
 
 // QueryResult is one query's answer. Exactly one of the payload fields

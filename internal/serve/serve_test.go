@@ -74,7 +74,7 @@ func mixedQueries() []Query {
 
 func TestEvalAllKinds(t *testing.T) {
 	sess := openTestSession(t, 1)
-	results, err := sess.Eval.EvalBatch(context.Background(), mixedQueries())
+	results, err := sess.Eval().EvalBatch(context.Background(), mixedQueries())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,11 +123,11 @@ func TestDirAndFileAgree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, err := fromDir.Eval.EvalBatch(context.Background(), mixedQueries())
+	a, err := fromDir.Eval().EvalBatch(context.Background(), mixedQueries())
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := fromFile.Eval.EvalBatch(context.Background(), mixedQueries())
+	b, err := fromFile.Eval().EvalBatch(context.Background(), mixedQueries())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +160,7 @@ func TestBatchDeterminism(t *testing.T) {
 		for i := 0; i < 16; i++ {
 			qs = append(qs, mixedQueries()...)
 		}
-		results, err := sess.Eval.EvalBatch(context.Background(), qs)
+		results, err := sess.Eval().EvalBatch(context.Background(), qs)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -176,7 +176,7 @@ func TestBatchDeterminism(t *testing.T) {
 // proof.
 func TestConcurrentMixedQueries(t *testing.T) {
 	sess := openTestSession(t, 4)
-	base, err := sess.Eval.EvalBatch(context.Background(), mixedQueries())
+	base, err := sess.Eval().EvalBatch(context.Background(), mixedQueries())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +188,7 @@ func TestConcurrentMixedQueries(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			for i := 0; i < 5; i++ {
-				results, err := sess.Eval.EvalBatch(context.Background(), mixedQueries())
+				results, err := sess.Eval().EvalBatch(context.Background(), mixedQueries())
 				if err != nil {
 					errs[g] = err
 					return
@@ -212,7 +212,7 @@ func TestBatchCancellation(t *testing.T) {
 	sess := openTestSession(t, 2)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	_, err := sess.Eval.EvalBatch(ctx, mixedQueries())
+	_, err := sess.Eval().EvalBatch(ctx, mixedQueries())
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("EvalBatch(canceled ctx) = %v, want context.Canceled", err)
 	}
@@ -224,15 +224,15 @@ func TestBatchCancellation(t *testing.T) {
 func TestQueryErrors(t *testing.T) {
 	sess := openTestSession(t, 1)
 	ctx := context.Background()
-	r := sess.Eval.Eval(ctx, Query{Kind: "pointsto", Name: "nosuch"})
+	r := sess.Eval().Eval(ctx, Query{Kind: "pointsto", Name: "nosuch"})
 	if r.Err == nil || r.Err.Status != http.StatusNotFound {
 		t.Errorf("pointsto(nosuch) = %+v, want 404", r.Err)
 	}
-	r = sess.Eval.Eval(ctx, Query{Kind: "frobnicate"})
+	r = sess.Eval().Eval(ctx, Query{Kind: "frobnicate"})
 	if r.Err == nil || r.Err.Status != http.StatusBadRequest {
 		t.Errorf("unknown kind = %+v, want 400", r.Err)
 	}
-	r = sess.Eval.Eval(ctx, Query{Kind: "lint", Checks: []string{"nosuchcheck"}})
+	r = sess.Eval().Eval(ctx, Query{Kind: "lint", Checks: []string{"nosuchcheck"}})
 	if r.Err == nil || r.Err.Status != http.StatusBadRequest {
 		t.Errorf("bad check = %+v, want 400", r.Err)
 	}
@@ -399,7 +399,7 @@ func TestRegistry(t *testing.T) {
 	if s, err := reg.Get(""); err != nil || s.Name != "a" {
 		t.Errorf("sole-session Get = %v, %v", s, err)
 	}
-	b := &Session{Name: "b", Eval: a.Eval}
+	b := NewSession("b", "", a.Eval())
 	reg.Add(b)
 	if _, err := reg.Get(""); err == nil {
 		t.Error("ambiguous empty name accepted")
@@ -654,5 +654,235 @@ func TestConcurrentInstrumentedTraffic(t *testing.T) {
 		if !json.Valid([]byte(line)) {
 			t.Fatalf("interleaved access-log line: %s", line)
 		}
+	}
+}
+
+// --- session lifecycle (PR 10) ---
+
+func doReq(t *testing.T, h http.Handler, method, url string, body []byte) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	var req *http.Request
+	if body != nil {
+		req = httptest.NewRequest(method, url, bytes.NewReader(body))
+	} else {
+		req = httptest.NewRequest(method, url, nil)
+	}
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+// rewriteUnit swaps b.c so copy() stores &extra instead of p: the
+// points-to set of r changes observably across the refresh.
+func rewriteUnit(t *testing.T, dir string) {
+	t.Helper()
+	edited := `extern int *p;
+int *r;
+int extra;
+void copy(void) { r = &extra; }
+void work(void) { copy(); }
+void (*fp)(void);
+void install(void) { fp = copy; }
+void dispatch(void) { fp(); }
+`
+	if err := os.WriteFile(filepath.Join(dir, "b.c"), []byte(edited), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSessionLifecycleREST(t *testing.T) {
+	dir := writeTestDir(t)
+	s := NewServer(NewRegistry(), ServerConfig{Jobs: 1, Session: Config{Jobs: 1}})
+	h := s.Handler()
+
+	// Create.
+	body := marshal(t, sessionCreateBody{Name: "live", Path: dir})
+	rec := doReq(t, h, "POST", "/v1/sessions", body)
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("create = %d %q", rec.Code, rec.Body.String())
+	}
+	var info SessionInfo
+	if err := json.Unmarshal(rec.Body.Bytes(), &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Name != "live" || info.Kind != "dir" || info.Generation != 1 ||
+		!info.Refreshable || info.Stale || info.Syms == 0 {
+		t.Fatalf("create info = %+v", info)
+	}
+
+	// Duplicate name conflicts.
+	if rec := doReq(t, h, "POST", "/v1/sessions", body); rec.Code != http.StatusConflict {
+		t.Fatalf("duplicate create = %d, want 409", rec.Code)
+	}
+
+	// Batched queries report the pinned generation.
+	qbody := marshal(t, Request{Session: "live", Queries: []Query{{Kind: "pointsto", Name: "r"}}})
+	rec = doReq(t, h, "POST", "/v1/query", qbody)
+	if rec.Code != 200 {
+		t.Fatalf("query = %d %q", rec.Code, rec.Body.String())
+	}
+	var resp Response
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Generation != 1 {
+		t.Fatalf("response generation = %d, want 1", resp.Generation)
+	}
+	if len(resp.Results[0].Objects) != 1 || resp.Results[0].Objects[0].Name != "g" {
+		t.Fatalf("pointsto(r) gen 1 = %+v, want {g}", resp.Results[0].Objects)
+	}
+
+	// Edit the tree: the info endpoint flags staleness before a refresh.
+	rewriteUnit(t, dir)
+	rec = doReq(t, h, "GET", "/v1/sessions/live", nil)
+	if rec.Code != 200 {
+		t.Fatalf("info = %d", rec.Code)
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &info); err != nil {
+		t.Fatal(err)
+	}
+	if !info.Stale || len(info.Changed) == 0 || info.Generation != 1 {
+		t.Fatalf("post-edit info = %+v, want stale at generation 1", info)
+	}
+
+	// Refresh swaps in generation 2 and the new answer.
+	rec = doReq(t, h, "POST", "/v1/sessions/live/refresh", nil)
+	if rec.Code != 200 {
+		t.Fatalf("refresh = %d %q", rec.Code, rec.Body.String())
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Generation != 2 || info.Stale {
+		t.Fatalf("post-refresh info = %+v, want clean generation 2", info)
+	}
+	rec = doReq(t, h, "POST", "/v1/query", qbody)
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Generation != 2 {
+		t.Fatalf("post-refresh response generation = %d, want 2", resp.Generation)
+	}
+	if len(resp.Results[0].Objects) != 1 || resp.Results[0].Objects[0].Name != "extra" {
+		t.Fatalf("pointsto(r) gen 2 = %+v, want {extra}", resp.Results[0].Objects)
+	}
+
+	// Single-query endpoints echo the generation as a header.
+	rec = doReq(t, h, "GET", "/v1/pointsto?name=r&session=live", nil)
+	if got := rec.Header().Get("X-Cla-Generation"); got != "2" {
+		t.Fatalf("X-Cla-Generation = %q, want 2", got)
+	}
+
+	// Delete retires the session; queries and info then 404.
+	if rec := doReq(t, h, "DELETE", "/v1/sessions/live", nil); rec.Code != http.StatusNoContent {
+		t.Fatalf("delete = %d", rec.Code)
+	}
+	if rec := doReq(t, h, "GET", "/v1/sessions/live", nil); rec.Code != http.StatusNotFound {
+		t.Fatalf("info after delete = %d, want 404", rec.Code)
+	}
+	if rec := doReq(t, h, "POST", "/v1/query", qbody); rec.Code != http.StatusNotFound {
+		t.Fatalf("query after delete = %d, want 404", rec.Code)
+	}
+	if rec := doReq(t, h, "DELETE", "/v1/sessions/live", nil); rec.Code != http.StatusNotFound {
+		t.Fatalf("double delete = %d, want 404", rec.Code)
+	}
+}
+
+// TestRefreshNotSupported: object- and memory-backed sessions reject
+// refresh with a usage error instead of silently serving stale data.
+func TestRefreshNotSupported(t *testing.T) {
+	sess := openTestSession(t, 1)
+	prog := sess.Eval().Prog
+	claPath := filepath.Join(t.TempDir(), "prog.cla")
+	if err := objfile.WriteFile(claPath, prog); err != nil {
+		t.Fatal(err)
+	}
+	obj, err := Open(context.Background(), "obj", claPath, Config{Jobs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := obj.Refresh(context.Background()); err == nil {
+		t.Fatal("object session accepted Refresh")
+	}
+	if obj.Refreshable() || obj.Kind != "object" {
+		t.Fatalf("object session: refreshable=%v kind=%q", obj.Refreshable(), obj.Kind)
+	}
+}
+
+// TestAcquirePinsGeneration: a query holding a generation keeps
+// answering from it while a refresh swaps the session forward.
+func TestAcquirePinsGeneration(t *testing.T) {
+	dir := writeTestDir(t)
+	sess, err := Open(context.Background(), "pin", dir, Config{Jobs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, release, err := sess.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Gen != 1 {
+		t.Fatalf("acquired generation = %d", st.Gen)
+	}
+
+	rewriteUnit(t, dir)
+	if _, changed, err := sess.Refresh(context.Background()); err != nil || !changed {
+		t.Fatalf("refresh: changed=%v err=%v", changed, err)
+	}
+	if sess.Generation() != 2 {
+		t.Fatalf("session generation = %d, want 2", sess.Generation())
+	}
+	// The pinned state still answers from generation 1.
+	r := st.Eval.Eval(context.Background(), Query{Kind: "pointsto", Name: "r"})
+	if len(r.Objects) != 1 || r.Objects[0].Name != "g" {
+		t.Fatalf("pinned pointsto(r) = %+v, want the generation-1 {g}", r.Objects)
+	}
+	release()
+
+	// After close, Acquire fails.
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sess.Acquire(); err == nil {
+		t.Fatal("Acquire succeeded on a closed session")
+	}
+}
+
+// TestSessionWatchSwapsGeneration drives the server-side watch loop:
+// an edited unit is picked up by polling alone and the serving
+// generation advances without any explicit refresh call.
+func TestSessionWatchSwapsGeneration(t *testing.T) {
+	dir := writeTestDir(t)
+	sess, err := Open(context.Background(), "w", dir, Config{Jobs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	if err := sess.StartWatch(20 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.StartWatch(20 * time.Millisecond); err == nil {
+		t.Fatal("double StartWatch accepted")
+	}
+	if !sess.Watching() {
+		t.Fatal("session not watching")
+	}
+
+	time.Sleep(30 * time.Millisecond) // let the baseline scan land
+	rewriteUnit(t, dir)
+	deadline := time.Now().Add(5 * time.Second)
+	for sess.Generation() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("watch never advanced the generation (still %d)", sess.Generation())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	r := sess.Eval().Eval(context.Background(), Query{Kind: "pointsto", Name: "r"})
+	if len(r.Objects) != 1 || r.Objects[0].Name != "extra" {
+		t.Fatalf("watched pointsto(r) = %+v, want {extra}", r.Objects)
+	}
+	sess.StopWatch()
+	if sess.Watching() {
+		t.Fatal("session still watching after StopWatch")
 	}
 }

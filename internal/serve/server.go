@@ -34,6 +34,13 @@ type ServerConfig struct {
 	SlowQuery time.Duration
 	// LogSample logs 1 in N requests to AccessLog (<= 1 logs all).
 	LogSample int
+	// Session is the build configuration for sessions created over the
+	// API (POST /v1/sessions). Its zero value builds with the defaults;
+	// Jobs and Obs fall back to the server's when unset.
+	Session Config
+	// WatchInterval is the poll interval for sessions created with
+	// "watch": true (0 = 500ms).
+	WatchInterval time.Duration
 }
 
 // Server serves the query API over HTTP. Routes:
@@ -41,6 +48,10 @@ type ServerConfig struct {
 //	GET  /healthz                    liveness ("ok", or "draining" + 503)
 //	GET  /statsz                     sessions + observer counters/gauges
 //	GET  /v1/sessions                registered session names
+//	POST /v1/sessions                open a session {"name","path","watch"}
+//	GET  /v1/sessions/{id}           generation, staleness, watch state
+//	POST /v1/sessions/{id}/refresh   rebuild what changed, swap generation
+//	DELETE /v1/sessions/{id}         retire a session (drains, then unmaps)
 //	POST /v1/query                   batched Request -> Response
 //	GET  /v1/pointsto?name=          single-query conveniences; all accept
 //	GET  /v1/alias?x=&y=             &session= to pick a snapshot
@@ -79,6 +90,10 @@ func NewServer(reg *Registry, cfg ServerConfig) *Server {
 	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
 	s.mux.HandleFunc("GET /metricsz", s.handleMetricsz)
 	s.mux.HandleFunc("GET /v1/sessions", s.handleSessions)
+	s.mux.HandleFunc("POST /v1/sessions", s.handleSessionCreate)
+	s.mux.HandleFunc("GET /v1/sessions/{id}", s.handleSessionInfo)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/refresh", s.handleSessionRefresh)
+	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
 	for _, kind := range []string{"pointsto", "alias", "callgraph", "modref", "dependence", "lint"} {
 		s.mux.HandleFunc("GET /v1/"+kind, s.singleHandler(kind))
@@ -136,11 +151,12 @@ func metricMap(ms []obs.Metric) map[string]int64 {
 }
 
 type statszSession struct {
-	Name    string `json:"name"`
-	Path    string `json:"path"`
-	Syms    int    `json:"syms"`
-	Assigns int    `json:"assigns"`
-	Created string `json:"created"`
+	Name       string `json:"name"`
+	Path       string `json:"path"`
+	Syms       int    `json:"syms"`
+	Assigns    int    `json:"assigns"`
+	Generation uint64 `json:"generation"`
+	Created    string `json:"created"`
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
@@ -155,12 +171,14 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			continue
 		}
+		st := sess.State()
 		body.Sessions = append(body.Sessions, statszSession{
-			Name:    sess.Name,
-			Path:    sess.Path,
-			Syms:    sess.Eval.NumSyms(),
-			Assigns: sess.Eval.NumAssigns(),
-			Created: sess.Created.UTC().Format(time.RFC3339),
+			Name:       sess.Name,
+			Path:       sess.Path,
+			Syms:       st.Eval.NumSyms(),
+			Assigns:    st.Eval.NumAssigns(),
+			Generation: st.Gen,
+			Created:    sess.Created.UTC().Format(time.RFC3339),
 		})
 	}
 	writeJSON(w, http.StatusOK, body)
@@ -168,6 +186,146 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string][]string{"sessions": s.Sessions.Names()})
+}
+
+// SessionInfo is the wire shape of GET /v1/sessions/{id} (and the 201
+// body of POST): identity, current generation, staleness and watch
+// state.
+type SessionInfo struct {
+	Name        string   `json:"name"`
+	Path        string   `json:"path,omitempty"`
+	Kind        string   `json:"kind"`
+	Generation  uint64   `json:"generation"`
+	Syms        int      `json:"syms"`
+	Assigns     int      `json:"assigns"`
+	Created     string   `json:"created"`
+	Built       string   `json:"built"`
+	Refreshable bool     `json:"refreshable"`
+	Watching    bool     `json:"watching"`
+	Stale       bool     `json:"stale"`
+	Changed     []string `json:"changed,omitempty"`
+}
+
+// sessionInfo snapshots a session for the lifecycle endpoints. The
+// stale probe stats tracked files, so it is cheap but not free; only
+// the per-session endpoints pay it, not the statsz listing.
+func sessionInfo(sess *Session) SessionInfo {
+	st := sess.State()
+	stale, changed := sess.Stale()
+	return SessionInfo{
+		Name:        sess.Name,
+		Path:        sess.Path,
+		Kind:        sess.Kind,
+		Generation:  st.Gen,
+		Syms:        st.Eval.NumSyms(),
+		Assigns:     st.Eval.NumAssigns(),
+		Created:     sess.Created.UTC().Format(time.RFC3339),
+		Built:       st.Built.UTC().Format(time.RFC3339),
+		Refreshable: sess.Refreshable(),
+		Watching:    sess.Watching(),
+		Stale:       stale,
+		Changed:     changed,
+	}
+}
+
+// sessionCreateBody is the POST /v1/sessions request: open path (a
+// source directory, .cla database or .snap snapshot) under the given
+// session name, optionally starting a watch loop on it.
+type sessionCreateBody struct {
+	Name  string `json:"name"`
+	Path  string `json:"path"`
+	Watch bool   `json:"watch,omitempty"`
+}
+
+func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	s.o.Counter("serve.requests").Add(1)
+	var body sessionCreateBody
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&body); err != nil {
+		s.fail(w, claerr.Newf(claerr.PhaseUsage, "bad request body: %v", err))
+		return
+	}
+	if body.Name == "" || body.Path == "" {
+		s.fail(w, claerr.Newf(claerr.PhaseUsage, "session create needs both name and path"))
+		return
+	}
+	cfg := s.cfg.Session
+	if cfg.Jobs == 0 {
+		cfg.Jobs = s.cfg.Jobs
+	}
+	if cfg.Obs == nil {
+		cfg.Obs = s.o
+	}
+	sess, err := Open(r.Context(), body.Name, body.Path, cfg)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	if !s.Sessions.AddNew(sess) {
+		sess.Close()
+		s.failStatus(w, http.StatusConflict, claerr.Newf(claerr.PhaseUsage,
+			"session %q already exists; delete it first", body.Name))
+		return
+	}
+	if body.Watch {
+		if err := sess.StartWatch(s.watchInterval()); err != nil {
+			// The session itself opened fine; surface the watch problem
+			// but keep serving it unwatched.
+			s.o.Counter("serve.watch.errors").Inc()
+		}
+	}
+	s.o.Counter("serve.sessions.created").Inc()
+	writeJSON(w, http.StatusCreated, sessionInfo(sess))
+}
+
+func (s *Server) handleSessionInfo(w http.ResponseWriter, r *http.Request) {
+	s.o.Counter("serve.requests").Add(1)
+	sess, err := s.Sessions.Get(r.PathValue("id"))
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, sessionInfo(sess))
+}
+
+func (s *Server) handleSessionRefresh(w http.ResponseWriter, r *http.Request) {
+	s.o.Counter("serve.requests").Add(1)
+	sess, err := s.Sessions.Get(r.PathValue("id"))
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	if _, _, err := sess.Refresh(ctx); err != nil {
+		s.fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, sessionInfo(sess))
+}
+
+func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
+	s.o.Counter("serve.requests").Add(1)
+	name := r.PathValue("id")
+	sess, ok := s.Sessions.Remove(name)
+	if !ok {
+		s.fail(w, claerr.Newf(claerr.PhaseQuery, "no session named %q: %w", name, claerr.ErrNotFound))
+		return
+	}
+	// Close drains queries pinned to the session before unmapping any
+	// snapshot backing it; run it off the request goroutine.
+	go sess.Close()
+	s.o.Counter("serve.sessions.deleted").Inc()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// watchInterval resolves the configured watch poll interval.
+func (s *Server) watchInterval() time.Duration {
+	if s.cfg.WatchInterval > 0 {
+		return s.cfg.WatchInterval
+	}
+	return 500 * time.Millisecond
 }
 
 // handleQuery answers the batched POST /v1/query endpoint.
@@ -189,18 +347,27 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err)
 		return
 	}
+	// Pin one generation for the whole batch: a concurrent refresh swaps
+	// the session's state but cannot touch the snapshot this batch runs
+	// against, and a concurrent delete waits for the release.
+	st, release, err := sess.Acquire()
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	defer release()
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
 	s.o.Counter("serve.queries").Add(int64(len(req.Queries)))
 	s.o.Gauge("serve.inflight").Set(s.inflight.Add(int64(len(req.Queries))))
-	results, err := sess.Eval.EvalBatchObserve(ctx, req.Queries,
+	results, err := st.Eval.EvalBatchObserve(ctx, req.Queries,
 		func(q Query, d time.Duration) { s.observeQuery(sess, q.Kind, d) })
 	s.o.Gauge("serve.inflight").Set(s.inflight.Add(-int64(len(req.Queries))))
 	if err != nil {
 		s.fail(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, Response{Session: sess.Name, Results: results})
+	writeJSON(w, http.StatusOK, Response{Session: sess.Name, Generation: st.Gen, Results: results})
 }
 
 // singleHandler adapts one query kind to GET with URL parameters.
@@ -239,10 +406,17 @@ func (s *Server) singleHandler(kind string) http.HandlerFunc {
 			s.fail(w, err)
 			return
 		}
+		st, release, err := sess.Acquire()
+		if err != nil {
+			s.fail(w, err)
+			return
+		}
+		defer release()
+		w.Header().Set("X-Cla-Generation", strconv.FormatUint(st.Gen, 10))
 		ctx, cancel := s.requestCtx(r)
 		defer cancel()
 		start := time.Now()
-		res := sess.Eval.Eval(ctx, q)
+		res := st.Eval.Eval(ctx, q)
 		s.observeQuery(sess, kind, time.Since(start))
 		if res.Err != nil {
 			s.o.Counter("serve.errors").Add(1)
@@ -269,6 +443,15 @@ func (s *Server) fail(w http.ResponseWriter, err error) {
 	s.o.Counter("serve.errors").Add(1)
 	body := errBody(err)
 	writeJSON(w, body.Status, map[string]*ErrorBody{"error": body})
+}
+
+// failStatus is fail with an explicit HTTP status overriding the
+// error's phase mapping (e.g. 409 for a session-name conflict).
+func (s *Server) failStatus(w http.ResponseWriter, status int, err error) {
+	s.o.Counter("serve.errors").Add(1)
+	body := errBody(err)
+	body.Status = status
+	writeJSON(w, status, map[string]*ErrorBody{"error": body})
 }
 
 // writeJSON renders v with a trailing newline (curl-friendly).

@@ -112,11 +112,14 @@ func openSnapshot(name, path string, cfg Config) (*Session, error) {
 	ev := NewEvaluator(prog, pts.NewMemSource(prog), r.Result(), cfg.Jobs)
 	ev.SeedChecks(r.Report())
 	cfg.Obs.Histogram("serve.snapshot.load").ObserveSince(start)
-	return &Session{
+	s := &Session{
 		Name:    name,
 		Path:    path,
-		Eval:    ev,
+		Kind:    "snapshot",
 		Snap:    r,
+		cfg:     cfg,
 		Created: time.Now(),
-	}, nil
+	}
+	s.state.Store(&SessionState{Eval: ev, Gen: 1, Built: s.Created})
+	return s, nil
 }

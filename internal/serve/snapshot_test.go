@@ -35,7 +35,7 @@ func buildSnap(t *testing.T, dir string, cfg Config) string {
 // byte-level form the HTTP layer would send.
 func evalJSON(t *testing.T, s *Session) []string {
 	t.Helper()
-	results, err := s.Eval.EvalBatch(context.Background(), mixedQueries())
+	results, err := s.Eval().EvalBatch(context.Background(), mixedQueries())
 	if err != nil {
 		t.Fatalf("batch: %v", err)
 	}
@@ -140,7 +140,7 @@ func TestSnapshotConcurrentQueries(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 10; i++ {
-				if _, err := sess.Eval.EvalBatch(context.Background(), mixedQueries()); err != nil {
+				if _, err := sess.Eval().EvalBatch(context.Background(), mixedQueries()); err != nil {
 					t.Error(err)
 					return
 				}

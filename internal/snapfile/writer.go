@@ -9,6 +9,7 @@ import (
 
 	"cla/internal/prim"
 	"cla/internal/pts/set"
+	"cla/internal/srchash"
 )
 
 // stringPool interns strings into a length-prefixed pool referenced by
@@ -290,17 +291,16 @@ func Save(path string, s *Snapshot) error {
 	return f.Close()
 }
 
-// HashFile records one input file's identity for staleness detection.
+// HashFile records one input file's identity for staleness detection,
+// using the toolkit-wide srchash scheme so the snapshot staleness check
+// can never desynchronize from the driver cache or the incremental
+// pipeline's unit store.
 func HashFile(path string) (SourceFile, error) {
-	b, err := os.ReadFile(path)
+	hash, size, err := srchash.File(path)
 	if err != nil {
 		return SourceFile{}, err
 	}
-	return SourceFile{
-		Path: path,
-		Size: int64(len(b)),
-		Hash: fmt.Sprintf("%016x", fnv1a(fnvOffset, b)),
-	}, nil
+	return SourceFile{Path: path, Size: size, Hash: hash}, nil
 }
 
 // HashSources records every named input, in the given order.

@@ -1,0 +1,61 @@
+package srchash
+
+import (
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestMatchesStdlibFNV pins the scheme to the reference implementation:
+// snapshot files written before this package existed recorded exactly
+// fmt.Sprintf("%016x", fnv64a(content)), and must still verify.
+func TestMatchesStdlibFNV(t *testing.T) {
+	for _, s := range []string{"", "a", "int *p = &x;\n", "\x00\xff\x80"} {
+		h := fnv.New64a()
+		h.Write([]byte(s))
+		want := fmt.Sprintf("%016x", h.Sum64())
+		if got := Bytes([]byte(s)); got != want {
+			t.Errorf("Bytes(%q) = %s, want %s", s, got, want)
+		}
+		if got := String(s); got != want {
+			t.Errorf("String(%q) = %s, want %s", s, got, want)
+		}
+	}
+}
+
+func TestFoldVariantsAgree(t *testing.T) {
+	b := []byte("content under test")
+	if FoldString(Offset(), string(b)) != Fold(Offset(), b) {
+		t.Fatal("FoldString diverges from Fold")
+	}
+	// FoldU32/FoldU64 must match folding the little-endian bytes.
+	if FoldU32(Offset(), 0x04030201) != Fold(Offset(), []byte{1, 2, 3, 4}) {
+		t.Fatal("FoldU32 diverges from little-endian Fold")
+	}
+	if FoldU64(Offset(), 0x0807060504030201) != Fold(Offset(), []byte{1, 2, 3, 4, 5, 6, 7, 8}) {
+		t.Fatal("FoldU64 diverges from little-endian Fold")
+	}
+}
+
+func TestFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "u.c")
+	content := "int x;\nint *p = &x;\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	hash, size, err := File(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size != int64(len(content)) {
+		t.Fatalf("size = %d, want %d", size, len(content))
+	}
+	if hash != String(content) {
+		t.Fatalf("File hash %s != String hash %s", hash, String(content))
+	}
+	if _, _, err := File(filepath.Join(t.TempDir(), "missing.c")); err == nil {
+		t.Fatal("File on a missing path should error")
+	}
+}

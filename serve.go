@@ -97,7 +97,7 @@ func NewQueryServer(a *Analysis, opts *ServeOptions) (*QueryServer, error) {
 		cfg.Obs = opts.Observer.internal()
 	}
 	reg := serve.NewRegistry()
-	reg.Add(&serve.Session{Name: name, Eval: ev, Created: time.Now()})
+	reg.Add(serve.NewSession(name, "", ev))
 	return serve.NewServer(reg, cfg), nil
 }
 
